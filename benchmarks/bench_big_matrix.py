@@ -1,0 +1,61 @@
+"""E7 — Theorem 3.6: non-singularity of the big matrix.
+
+Shape expectations: under conditions (11)-(13) the h = 1 grid matrix is
+non-singular for every m; for h = 2 the reduction's multiset-row system
+reaches full rank; violating condition (13) collapses the rank.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.matrices import Matrix
+from repro.reduction.big_matrix import theorem36_matrix
+
+F = Fraction
+
+LAMBDA1, LAMBDA2 = F(1, 2), F(1, 5)
+COEFFS = [(F(1), F(1)), (F(2), F(1, 3)), (F(-1), F(1, 7))]
+
+
+@pytest.mark.parametrize("m", [1, 2, 3, 4])
+def test_e7_h1_nonsingular(benchmark, m):
+    matrix = benchmark(theorem36_matrix, m, 1, LAMBDA1, LAMBDA2,
+                       COEFFS[:2])
+    assert not matrix.is_singular()
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["size"] = matrix.nrows
+
+
+@pytest.mark.parametrize("m", [1, 2, 3])
+def test_e7_h2_multiset_rank(benchmark, m):
+    def y(i, p):
+        a, b = COEFFS[i]
+        value = F(1)
+        for pj in p:
+            value *= a * LAMBDA1 ** pj + b * LAMBDA2 ** pj
+        return value
+
+    columns = [(k1, k2) for k1 in range(m + 1)
+               for k2 in range(m + 1 - k1)]
+
+    def build_and_rank():
+        rows = []
+        for p2 in range(1, 3 * m + 2):
+            for p1 in range(1, p2 + 1):
+                rows.append([
+                    y(0, (p1, p2)) ** (m - k1 - k2)
+                    * y(1, (p1, p2)) ** k1 * y(2, (p1, p2)) ** k2
+                    for (k1, k2) in columns])
+        return Matrix(rows).rank()
+
+    rank = benchmark(build_and_rank)
+    assert rank == len(columns)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["unknowns"] = len(columns)
+
+
+def test_e7_violated_condition_is_singular(benchmark):
+    coeffs = [(F(1), F(1)), (F(3), F(3))]  # proportional: violates (13)
+    matrix = benchmark(theorem36_matrix, 2, 1, LAMBDA1, LAMBDA2, coeffs)
+    assert matrix.is_singular()

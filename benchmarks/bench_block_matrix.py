@@ -1,0 +1,72 @@
+"""E4/E5/E6/F1 — the block matrix A(p).
+
+Shape expectations: the Lemma 3.19 matrix-power fast path equals direct
+WMC for every p while being asymptotically cheaper; the spectral
+conditions of Theorem 3.14 hold for every final Type-I query; parallel
+blocks multiply (Eq. 25, Figure 1).
+"""
+
+import pytest
+
+from repro.core import catalog
+from repro.reduction.block_matrix import (
+    theorem_314_conditions,
+    z_matrix_direct,
+    z_matrix_power,
+)
+from repro.reduction.blocks import parallel_block, path_block
+from repro.tid.database import r_tuple
+from repro.tid.lineage import lineage
+from repro.tid.wmc import cnf_probability
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4])
+def test_e5_direct_wmc(benchmark, p):
+    """Direct z_ab(p) by WMC: exponential-ish in p."""
+    query = catalog.rst_query()
+    matrix = benchmark(z_matrix_direct, query, p)
+    assert matrix == z_matrix_power(query, p)
+    benchmark.extra_info["p"] = p
+
+
+@pytest.mark.parametrize("p", [4, 16, 64, 256])
+def test_e5_matrix_power(benchmark, p):
+    """Fast path: A(1)^p / 2^(p-1) — handles p far beyond WMC reach."""
+    query = catalog.rst_query()
+    base = z_matrix_direct(query, 1)
+    matrix = benchmark(z_matrix_power, query, p, base)
+    assert matrix[0, 1] == matrix[1, 0]
+    benchmark.extra_info["p"] = p
+
+
+@pytest.mark.parametrize("name,ctor", [
+    ("rst", catalog.rst_query),
+    ("path2", lambda: catalog.path_query(2)),
+    ("wide", catalog.wide_final_query),
+])
+def test_e6_spectral_conditions(benchmark, name, ctor):
+    query = ctor()
+    conditions = benchmark(theorem_314_conditions, query)
+    assert all(conditions.values())
+    benchmark.extra_info["query"] = name
+
+
+def test_f1_parallel_block_product(benchmark):
+    """Figure 1 / Eq. 25: y_ab(p1,p2) = y_ab(p1) y_ab(p2)."""
+    query = catalog.rst_query()
+
+    def check():
+        singles = {}
+        for p in (1, 2):
+            tid = path_block(query, p, tag=f"_s{p}")
+            f = lineage(query, tid).condition(
+                r_tuple("u"), False).condition(r_tuple("v"), True)
+            singles[p] = cnf_probability(f, tid.probability)
+        tid = parallel_block(query, [1, 2])
+        f = lineage(query, tid).condition(
+            r_tuple("u"), False).condition(r_tuple("v"), True)
+        joint = cnf_probability(f, tid.probability)
+        assert joint == singles[1] * singles[2]
+        return joint
+
+    benchmark(check)

@@ -1,0 +1,45 @@
+"""Census at scale: static analysis throughput on random queries.
+
+Shape expectations: classification (safety, type, length) is fast
+enough to sweep hundreds of random queries per second — the static
+side of the dichotomy is genuinely cheap; finality checking costs one
+classification per symbol per polarity.
+"""
+
+import pytest
+
+from repro.core.final import is_final
+from repro.core.generate import GeneratorConfig, random_queries
+from repro.core.safety import is_unsafe, query_length, query_type
+
+
+@pytest.mark.parametrize("count", [100, 400])
+def test_classification_sweep(benchmark, count):
+    queries = random_queries(count)
+
+    def classify():
+        unsafe = 0
+        for q in queries:
+            if is_unsafe(q):
+                unsafe += 1
+                query_length(q)
+            query_type(q)
+        return unsafe
+
+    unsafe = benchmark(classify)
+    assert 0 < unsafe < count
+    benchmark.extra_info["count"] = count
+    benchmark.extra_info["unsafe_fraction"] = round(unsafe / count, 3)
+
+
+def test_finality_sweep(benchmark):
+    queries = [q for q in random_queries(
+        60, config=GeneratorConfig(n_symbols=3, max_clauses=3))
+        if is_unsafe(q)]
+
+    def check():
+        return sum(1 for q in queries if is_final(q))
+
+    final_count = benchmark(check)
+    benchmark.extra_info["unsafe_queries"] = len(queries)
+    benchmark.extra_info["final"] = final_count

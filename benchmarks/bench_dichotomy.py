@@ -1,0 +1,77 @@
+"""E13 — the dichotomy census: PTIME lifted evaluation vs exponential
+exact WMC.
+
+Shape expectations: on safe queries the lifted evaluator scales
+polynomially with the domain while exact WMC on the same instances
+blows up; both agree exactly wherever both run.  Unsafe queries are
+classified with their type and length.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import catalog
+from repro.core.safety import is_safe, query_length, query_type
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.lifted import lifted_probability
+from repro.tid.wmc import probability
+
+F = Fraction
+
+
+def random_tid(query, n, seed=0):
+    rng = random.Random(seed)
+    U = [f"u{i}" for i in range(n)]
+    V = [f"v{j}" for j in range(n)]
+    values = [F(0), F(1, 2), F(1)]
+    probs = {}
+    for u in U:
+        probs[r_tuple(u)] = rng.choice(values)
+    for v in V:
+        probs[t_tuple(v)] = rng.choice(values)
+    for s in sorted(query.binary_symbols):
+        for u in U:
+            for v in V:
+                probs[s_tuple(s, u, v)] = rng.choice(values)
+    return TID(U, V, probs)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_e13_lifted_scaling(benchmark, n):
+    """The PTIME side: domain grows, lifted evaluation stays fast."""
+    query = catalog.safe_left_only()
+    tid = random_tid(query, n, seed=n)
+    value = benchmark(lifted_probability, query, tid)
+    assert 0 <= value <= 1
+    benchmark.extra_info["domain"] = n
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_e13_wmc_same_instances(benchmark, n):
+    """Exact WMC on the same instances: correct but exponential — the
+    crossover against the lifted numbers is the dichotomy's shape."""
+    query = catalog.safe_left_only()
+    tid = random_tid(query, n, seed=n)
+    value = benchmark(probability, query, tid)
+    assert value == lifted_probability(query, tid)
+    benchmark.extra_info["domain"] = n
+
+
+def test_e13_census(benchmark):
+    """Static analysis of the full catalog is instantaneous."""
+
+    def classify():
+        table = []
+        for name, ctor, _ in catalog.CENSUS:
+            q = ctor()
+            table.append((name, is_safe(q), query_type(q),
+                          query_length(q)))
+        return table
+
+    table = benchmark(classify)
+    assert len(table) == len(catalog.CENSUS)
+    unsafe_count = sum(1 for _, safe, _, _ in table if not safe)
+    benchmark.extra_info["unsafe"] = unsafe_count
+    benchmark.extra_info["safe"] = len(table) - unsafe_count

@@ -1,0 +1,53 @@
+"""E14 — symmetric databases (Section 1.1's contrast).
+
+Shape expectations: on symmetric TIDs even the #P-hard queries (H0,
+RST) evaluate in polynomial time — domain 30 costs milliseconds — while
+the general-purpose exact engine is already exponential at domain 3-4.
+This is the positive result the paper contrasts its negative answer
+against: restricting the *database* can help; restricting the
+*probability values* cannot.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import catalog
+from repro.tid.symmetric import SymmetricTID, symmetric_probability
+from repro.tid.wmc import probability
+
+F = Fraction
+
+
+def stid(n, m, symbols):
+    return SymmetricTID(n, m, F(1, 2), F(1, 2),
+                        {s: F(1, 2) for s in symbols})
+
+
+@pytest.mark.parametrize("n", [5, 10, 20, 40])
+def test_e14_h0_symmetric_scaling(benchmark, n):
+    s = stid(n, n, ["S"])
+    value = benchmark(symmetric_probability, catalog.h0(), s)
+    assert 0 < value < 1
+    benchmark.extra_info["domain"] = n
+
+
+@pytest.mark.parametrize("n", [5, 10, 20])
+def test_e14_rst_symmetric_scaling(benchmark, n):
+    q = catalog.rst_query()
+    s = stid(n, n, ["S1"])
+    value = benchmark(symmetric_probability, q, s)
+    assert 0 < value < 1
+    benchmark.extra_info["domain"] = n
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_e14_wmc_on_same_instances(benchmark, n):
+    """The general engine on the same symmetric instances: correct but
+    exponential — the crossover is the point."""
+    q = catalog.h0()
+    s = stid(n, n, ["S"])
+    tid = s.materialize()
+    value = benchmark(probability, q, tid)
+    assert value == symmetric_probability(q, s)
+    benchmark.extra_info["domain"] = n

@@ -1,0 +1,110 @@
+"""E11/E12/F3 — the Type-II machinery (Appendix C).
+
+Shape expectations: the Moebius block-product expansion (Theorem C.19)
+equals direct evaluation; coloring counts recovered by the Type-II
+system match brute force and solve #PP2CNF (Theorem C.3); the Type-II
+zig-zag block (Definition C.21) is built with the dead-end/prefix/suffix
+structure of Figure 3.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import catalog
+from repro.counting.ccp import TOP_COLOR
+from repro.counting.pp2cnf import PP2CNF
+from repro.reduction.type2 import (
+    Type2Reduction,
+    conditions_68_70,
+    exponential_y_provider,
+)
+from repro.reduction.type2_blocks import block_pairs, type2_block
+from repro.reduction.type2_lattice import TypeIIStructure
+from repro.reduction.type2_mobius import (
+    mobius_block_probability,
+    union_of_blocks,
+)
+from repro.tid.wmc import probability
+
+F = Fraction
+
+
+@pytest.mark.parametrize("p", [0, 1, 2])
+def test_e11_mobius_formula(benchmark, p):
+    query = catalog.example_c9()
+    structure = TypeIIStructure(query)
+    blocks = {("u", "v"): type2_block(query, p=p)}
+
+    def check():
+        lhs = probability(query, union_of_blocks(blocks))
+        rhs = mobius_block_probability(structure, blocks)
+        assert lhs == rhs
+        return lhs
+
+    value = benchmark.pedantic(check, iterations=1, rounds=1)
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["pr"] = str(value)
+
+
+def test_e12_lattice_construction(benchmark):
+    query = catalog.example_c15()
+    structure = benchmark(TypeIIStructure, query)
+    assert structure.m_bar >= 3
+    assert structure.n_bar >= 3
+    benchmark.extra_info["m_bar"] = structure.m_bar
+    benchmark.extra_info["n_bar"] = structure.n_bar
+
+
+def _make_reduction():
+    left, right = ["a1", "a2"], ["b1", "b2"]
+    mu_l = {"a1": -1, "a2": 1}
+    mu_r = {"b1": -1, "b2": 2}
+    pairs = ([(a, b) for a in left for b in right]
+             + [(a, TOP_COLOR) for a in left]
+             + [(TOP_COLOR, b) for b in right])
+    coeffs = {pair: (F(i + 1), F(1, i + 2))
+              for i, pair in enumerate(pairs)}
+    assert conditions_68_70(coeffs, F(1, 2), F(1, 3))
+    return Type2Reduction(left, right, mu_l, mu_r,
+                          exponential_y_provider(coeffs, F(1, 2), F(1, 3)))
+
+
+def test_e12_ccp_recovery(benchmark):
+    reduction = _make_reduction()
+    phi = PP2CNF(1, 1, ((0, 0),))
+
+    def run():
+        return reduction.count_pp2cnf(phi, "a1", "a2", "b1", "b2")
+
+    count = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert count == phi.count_satisfying() == 3
+    benchmark.extra_info["pp2cnf_count"] = count
+
+
+@pytest.mark.parametrize("p,branches", [(1, 1), (2, 2), (3, 1)])
+def test_f3_block_construction(benchmark, p, branches):
+    query = catalog.example_c15()
+    block = benchmark(type2_block, query, p, "u", "v", "", branches)
+    pairs = block_pairs(query, p, branches=branches)
+    # Figure 3 structure: zig-zag chain 2p+1 + prefix/suffix 4*branches
+    # + dead ends 2*(p+1)*(m-2).
+    from repro.reduction.type2_blocks import dead_end_count
+    deads = dead_end_count(query)
+    expected = (2 * p + 1) + 4 * branches + 2 * (p + 1) * deads
+    assert len(pairs) == expected
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["elementary_blocks"] = len(pairs)
+
+
+def test_e15_exponential_form(benchmark):
+    """Eq. 79: the two-eigenvalue recurrence on measured y(p)."""
+    from repro.reduction.type2_spectral import verify_exponential_form
+    query = catalog.example_c15()
+
+    def check():
+        return verify_exponential_form(
+            query, "U", frozenset({0}), frozenset({0}), p_max=3)
+
+    ok = benchmark.pedantic(check, iterations=1, rounds=1)
+    assert ok

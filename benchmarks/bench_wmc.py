@@ -1,0 +1,67 @@
+"""Engine scaling: the exact WMC oracle on block lineages and grids.
+
+Shape expectations: the component/Shannon engine handles path blocks in
+time roughly linear in p (the chain decomposes at articulation tuples),
+and degrades exponentially only on dense grids — the behaviour a #P
+oracle is allowed to have.
+"""
+
+import pytest
+
+from repro.core import catalog
+from repro.reduction.blocks import path_block
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.lineage import lineage
+from repro.tid.wmc import cnf_probability, probability
+
+from fractions import Fraction
+
+F = Fraction
+HALF = F(1, 2)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+def test_wmc_on_path_blocks(benchmark, p):
+    """Path-block lineage: near-linear growth in p."""
+    query = catalog.rst_query()
+    tid = path_block(query, p)
+    formula = lineage(query, tid)
+
+    value = benchmark(cnf_probability, formula, tid.probability)
+    assert 0 < value < 1
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["n_tuples"] = len(formula.variables())
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_wmc_on_grids(benchmark, n):
+    """Dense n x n grids: exponential-ish growth (the hard regime)."""
+    query = catalog.rst_query()
+    U = [f"u{i}" for i in range(n)]
+    V = [f"v{j}" for j in range(n)]
+    probs = {r_tuple(u): HALF for u in U}
+    probs.update({t_tuple(v): HALF for v in V})
+    for s in sorted(query.binary_symbols):
+        for u in U:
+            for v in V:
+                probs[s_tuple(s, u, v)] = HALF
+    tid = TID(U, V, probs)
+
+    value = benchmark(probability, query, tid)
+    assert 0 < value < 1
+    benchmark.extra_info["grid"] = n
+
+
+def test_wmc_memoization_pays(benchmark):
+    """Repeated sub-lineages must hit the cache: a union of identical
+    disjoint blocks costs little more than one block."""
+    query = catalog.rst_query()
+    blocks = [path_block(query, 3, u=f"a{i}", v=f"b{i}", tag=f"_{i}")
+              for i in range(6)]
+    tid = blocks[0]
+    for block in blocks[1:]:
+        tid = tid.union(block)
+
+    value = benchmark(probability, query, tid)
+    assert 0 < value < 1
+    benchmark.extra_info["blocks"] = len(blocks)

@@ -1,0 +1,71 @@
+"""E10/F2 — the zig-zag rewriting (Appendix A).
+
+Shape expectations: Pr_Delta(zg(Q)) = Pr_{zg(Delta)}(Q) exactly; zg(Q)
+is unsafe of type A-A with length >= 2k.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import catalog
+from repro.core.safety import is_unsafe, query_length, query_type
+from repro.reduction.zigzag import zigzag_database, zigzag_query
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.wmc import probability
+
+F = Fraction
+
+QUERIES = [
+    ("rst (I-I)", catalog.rst_query),
+    ("path2 (I-I)", lambda: catalog.path_query(2)),
+    ("I-II", catalog.unsafe_type1_type2),
+    ("C.9 (II-II)", catalog.example_c9),
+]
+
+
+def random_delta(zq, seed):
+    rng = random.Random(seed)
+    U, V = ["a1"], ["b1"]
+    values = [F(1, 2), F(1, 2), F(1)]
+    probs = {}
+    if any("R" in c.unaries for c in zq.clauses):
+        probs.update({r_tuple(u): rng.choice(values) for u in U})
+    if any("T" in c.unaries for c in zq.clauses):
+        probs.update({t_tuple(v): rng.choice(values) for v in V})
+    for symbol in sorted(zq.binary_symbols):
+        for u in U:
+            for v in V:
+                probs[s_tuple(symbol, u, v)] = rng.choice(values)
+    return TID(U, V, probs)
+
+
+@pytest.mark.parametrize("name,ctor", QUERIES)
+def test_f2_construction(benchmark, name, ctor):
+    query = ctor()
+    zq = benchmark(zigzag_query, query)
+    assert is_unsafe(zq)
+    assert query_length(zq) >= 2 * query_length(query)
+    qtype = query_type(zq)
+    assert qtype[0] == qtype[1]  # type A-A
+    benchmark.extra_info["query"] = name
+    benchmark.extra_info["zg_length"] = query_length(zq)
+    benchmark.extra_info["zg_clauses"] = len(zq.clauses)
+
+
+@pytest.mark.parametrize("name,ctor", QUERIES[:3])
+def test_e10_probability_preservation(benchmark, name, ctor):
+    query = ctor()
+    zq = zigzag_query(query)
+    delta = random_delta(zq, seed=11)
+
+    def roundtrip():
+        lhs = probability(zq, delta)
+        rhs = probability(query, zigzag_database(query, delta))
+        assert lhs == rhs
+        return lhs
+
+    value = benchmark.pedantic(roundtrip, iterations=1, rounds=1)
+    benchmark.extra_info["query"] = name
+    benchmark.extra_info["pr"] = str(value)

@@ -1,0 +1,58 @@
+"""The paper's headline construction, end to end (Theorem 3.1 / 2.9(1)):
+
+count the satisfying assignments of a positive 2CNF using ONLY an oracle
+for Pr(Q) over databases whose probabilities lie in {1/2, 1}.
+
+The script builds the block databases of Section 3.3, calls the oracle
+once per parameter multiset, solves the Eq. (10) linear system exactly,
+and prints every recovered signature count next to the brute-force
+truth.
+
+Run:  python examples/hardness_reduction.py
+"""
+
+from repro.core.catalog import path_query
+from repro.counting.p2cnf import P2CNF
+from repro.reduction.type1 import Type1Reduction
+
+
+def main() -> None:
+    query = path_query(2)
+    print("Final Type-I query:", query)
+
+    # Phi = (X0 v X1)(X1 v X2)(X2 v X3)(X3 v X0): a 4-cycle.
+    phi = P2CNF.cycle(4)
+    print(f"\n#P2CNF instance: n={phi.n} variables, m={phi.m} clauses")
+    print("  edges:", phi.edges)
+
+    reduction = Type1Reduction(query)
+    print("\nBlock matrix A(1) (z_ab at probability 1/2):")
+    for row in reduction.base_matrix.rows:
+        print("   ", [str(e) for e in row])
+
+    result = reduction.run(phi, oracle="product")
+    print(f"\nOracle calls: {result.oracle_calls} "
+          f"(one per parameter multiset, system size "
+          f"{result.system_size})")
+    print("Parameter multisets used:", result.parameters_used)
+
+    print("\nRecovered signature counts #k' (k00, k01+k10, k11):")
+    truth = phi.signature_counts()
+    for signature in sorted(result.signature_counts):
+        got = result.signature_counts[signature]
+        expected = truth.get(signature, 0)
+        marker = "ok" if got == expected else "MISMATCH"
+        print(f"   #{signature} = {got:4d}   brute force: "
+              f"{expected:4d}   [{marker}]")
+
+    print(f"\n#Phi from the reduction:  {result.model_count}")
+    print(f"#Phi by brute force:      {phi.count_satisfying()}")
+    assert result.model_count == phi.count_satisfying()
+
+    print("\nEvery database handed to the oracle was a legal FOMC "
+          "instance\n(probabilities in {1/2, 1}) — hardness holds for "
+          "model counting itself.")
+
+
+if __name__ == "__main__":
+    main()

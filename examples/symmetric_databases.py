@@ -1,0 +1,59 @@
+"""Symmetric databases: the tractable restriction of Section 1.1.
+
+The paper's negative result says restricting probability VALUES to
+{0, 1/2, 1} keeps unsafe queries #P-hard.  The introduction contrasts
+this with a known positive result: restricting the DATABASE to be
+symmetric (every relation a single probability) makes evaluation
+polynomial-time — Van den Broeck et al.'s symmetric WFOMC.  This script
+shows both phenomena side by side on H0.
+
+Run:  python examples/symmetric_databases.py
+"""
+
+import time
+from fractions import Fraction
+
+from repro.core.catalog import h0, rst_query
+from repro.tid.symmetric import SymmetricTID, symmetric_probability
+from repro.tid.wmc import probability
+
+F = Fraction
+
+
+def main() -> None:
+    q = h0()
+    print("Query: H0 =", q, "(#P-hard on general GFOMC databases)")
+
+    print(f"\n{'domain n':>9s} {'symmetric (s)':>14s} "
+          f"{'general WMC (s)':>16s} {'Pr(H0)':>24s}")
+    for n in (2, 3, 4, 6, 10, 20, 40):
+        s = SymmetricTID(n, n, F(1, 2), F(1, 2), {"S": F(1, 2)})
+        t0 = time.perf_counter()
+        value = symmetric_probability(q, s)
+        t_sym = time.perf_counter() - t0
+        if n <= 4:
+            t0 = time.perf_counter()
+            exact = probability(q, s.materialize())
+            t_wmc = time.perf_counter() - t0
+            assert exact == value
+            wmc_str = f"{t_wmc:16.4f}"
+        else:
+            wmc_str = f"{'(skipped)':>16s}"
+        approx = float(value)
+        print(f"{n:9d} {t_sym:14.4f} {wmc_str} {approx:24.6e}")
+
+    print("\nThe same contrast for the RST path query:")
+    q = rst_query()
+    s = SymmetricTID(12, 12, F(1, 2), F(1, 2),
+                     {"S1": F(1, 2), "S2": F(1, 2)})
+    t0 = time.perf_counter()
+    value = symmetric_probability(q, s)
+    print(f"   n = 12: Pr = {float(value):.6e} "
+          f"in {time.perf_counter() - t0:.4f}s (symmetric fast path)")
+
+    print("\nTakeaway: restricting the database helps; restricting the "
+          "probability\nvalues to {0, 1/2, 1} does not (Theorem 2.2).")
+
+
+if __name__ == "__main__":
+    main()

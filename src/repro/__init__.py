@@ -1,0 +1,75 @@
+"""repro — a reproduction of Kenig & Suciu (PODS 2021),
+"A Dichotomy for the Generalized Model Counting Problem for Unions of
+Conjunctive Queries".
+
+The public API re-exports the main objects:
+
+* queries and static analysis: :class:`Clause`, :class:`Query`,
+  ``is_safe`` / ``is_unsafe`` / ``query_length`` / ``query_type``,
+  ``is_final`` / ``find_final``;
+* tuple-independent databases and evaluation: :class:`TID`,
+  ``lineage``, ``probability`` (exact WMC), ``probability_brute``,
+  ``lifted_probability`` (PTIME, safe queries only);
+* counting problems: ``pqe``, ``gfomc``, ``fomc``,
+  ``generalized_model_count``, ``model_count``, :class:`P2CNF`,
+  :class:`PP2CNF`;
+* the hardness machinery: ``repro.reduction`` (blocks, small/big
+  matrices, the Type-I Cook reduction, the zig-zag rewriting, and the
+  Type-II lattice/Moebius apparatus).
+"""
+
+from repro.core import (
+    Clause,
+    Query,
+    is_safe,
+    is_unsafe,
+    query_length,
+    query_type,
+    is_final,
+    find_final,
+)
+from repro.tid import (
+    TID,
+    lineage,
+    probability,
+    probability_brute,
+    lifted_probability,
+)
+from repro.counting import (
+    pqe,
+    gfomc,
+    fomc,
+    generalized_model_count,
+    model_count,
+    P2CNF,
+    PP2CNF,
+)
+from repro.evaluation import EvaluationResult, evaluate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clause",
+    "Query",
+    "is_safe",
+    "is_unsafe",
+    "query_length",
+    "query_type",
+    "is_final",
+    "find_final",
+    "TID",
+    "lineage",
+    "probability",
+    "probability_brute",
+    "lifted_probability",
+    "pqe",
+    "gfomc",
+    "fomc",
+    "generalized_model_count",
+    "model_count",
+    "P2CNF",
+    "PP2CNF",
+    "evaluate",
+    "EvaluationResult",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Exact algebra substrate: polynomials, rational matrices, quadratic fields,
+lattices with Moebius functions, and the Lemma 1.1 non-root assignment solver.
+
+Everything in this package computes over exact rationals
+(:class:`fractions.Fraction`) or the quadratic extension field
+``Q(sqrt(d))``; no floating point is used in any correctness-critical path.
+"""
+
+from repro.algebra.polynomials import Polynomial
+from repro.algebra.matrices import Matrix
+from repro.algebra.quadratic import QuadraticNumber
+from repro.algebra.lattice import Lattice
+from repro.algebra.lemma11 import find_nonroot_assignment
+
+__all__ = [
+    "Polynomial",
+    "Matrix",
+    "QuadraticNumber",
+    "Lattice",
+    "find_nonroot_assignment",
+]

@@ -1,0 +1,128 @@
+"""The calculus lemmas behind Theorem 3.6 (Lemmas 3.8, 3.10, 3.12).
+
+* Lemma 3.8: a polynomial of per-variable degree <= m that is not
+  identically zero is non-zero somewhere on any grid A_1 x ... x A_h
+  with |A_i| = m + 1 — made constructive by ``grid_nonvanishing_point``.
+* Lemma 3.10: the Jacobian of H(z) = (prod_j (c_i + z_j))_i factors
+  through a Cauchy-type determinant (Eq. 16, Krattenthaler):
+
+      det[1/(c_i + z_j)] = prod_{i<j} (c_i - c_j)(z_i - z_j)
+                           / prod_{i,j} (c_i + z_j).
+
+* Lemma 3.12: the grid-evaluation matrix M[u, k] =
+  prod_i prod_j (c_i + u_j)^{k_i} is non-singular for distinct c_i and
+  per-coordinate grids of distinct values.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Sequence
+
+from repro.algebra.matrices import Matrix
+from repro.algebra.polynomials import Polynomial
+
+F = Fraction
+
+
+def cauchy_matrix(cs: Sequence[Fraction], zs: Sequence[Fraction]) -> Matrix:
+    """The matrix [1 / (c_i + z_j)]."""
+    return Matrix([[F(1) / (F(c) + F(z)) for z in zs] for c in cs])
+
+
+def cauchy_determinant(cs: Sequence[Fraction],
+                       zs: Sequence[Fraction]) -> Fraction:
+    """Closed form of det[1/(c_i + z_j)] (Eq. 16)."""
+    n = len(cs)
+    if len(zs) != n:
+        raise ValueError("need equally many c's and z's")
+    numerator = F(1)
+    for i in range(n):
+        for j in range(i + 1, n):
+            numerator *= (F(cs[i]) - F(cs[j])) * (F(zs[i]) - F(zs[j]))
+    denominator = F(1)
+    for c in cs:
+        for z in zs:
+            denominator *= F(c) + F(z)
+    return numerator / denominator
+
+
+def jacobian_h(cs: Sequence[Fraction], zs: Sequence[Fraction]) -> Matrix:
+    """The Jacobian of H(z)_i = prod_j (c_i + z_j) at the point z."""
+    h = len(cs)
+    rows = []
+    for i in range(h):
+        row = []
+        for k in range(h):
+            entry = F(1)
+            for j in range(h):
+                if j != k:
+                    entry *= F(cs[i]) + F(zs[j])
+            row.append(entry)
+        rows.append(row)
+    return Matrix(rows)
+
+
+def jacobian_h_determinant(cs: Sequence[Fraction],
+                           zs: Sequence[Fraction]) -> Fraction:
+    """det J(H) via Lemma 3.10's factorization: the Cauchy determinant
+    times prod_{i,j} (c_i + z_j)."""
+    factor = F(1)
+    for c in cs:
+        for z in zs:
+            factor *= F(c) + F(z)
+    return cauchy_determinant(cs, zs) * factor
+
+
+def grid_nonvanishing_point(poly: Polynomial,
+                            grids: dict[str, Sequence[Fraction]]
+                            ) -> dict[str, Fraction]:
+    """Lemma 3.8, constructive: a grid point where ``poly`` is non-zero.
+
+    ``grids[var]`` must contain more distinct values than the degree of
+    ``var`` in ``poly``.  Raises ``ValueError`` for the zero polynomial
+    or an insufficient grid.
+    """
+    if poly.is_zero():
+        raise ValueError("polynomial is identically zero")
+    point: dict[str, Fraction] = {}
+    current = poly
+    for var in sorted(poly.variables()):
+        values = list(dict.fromkeys(F(v) for v in grids[var]))
+        if len(values) <= poly.degree(var):
+            raise ValueError(
+                f"grid for {var} needs degree+1 distinct values")
+        for value in values:
+            candidate = current.substitute({var: value})
+            if not candidate.is_zero():
+                point[var] = value
+                current = candidate
+                break
+        else:  # pragma: no cover - impossible per Lemma 3.8
+            raise AssertionError("Lemma 3.8 violated")
+    return point
+
+
+def lemma312_matrix(cs: Sequence[Fraction],
+                    grids: Sequence[Sequence[Fraction]],
+                    m: int) -> Matrix:
+    """The matrix of Lemma 3.12: rows indexed by u in the grid product,
+    columns by k in {0..m}^h, entries prod_i prod_j (c_i + u_j)^{k_i}."""
+    h = len(cs)
+    if len(grids) != h:
+        raise ValueError("need one grid per coordinate")
+    exponents = list(iter_product(range(m + 1), repeat=h))
+    rows = []
+    for u in iter_product(*grids):
+        row = []
+        for k in exponents:
+            entry = F(1)
+            for i in range(h):
+                base = F(1)
+                for j in range(h):
+                    base *= F(cs[i]) + F(u[j])
+                entry *= base ** k[i]
+            row.append(entry)
+        rows.append(row)
+    return Matrix(rows)

@@ -1,0 +1,110 @@
+"""Exact spectral analysis of 2x2 rational matrices.
+
+Lemma 3.19 shows the block matrix satisfies A(p) = A(1)^p / 2^(p-1), and
+Eq. (33)-(35) expand the entries of A(1)^p as a_i * lambda1^p +
+b_i * lambda2^p.  Theorem 3.14 then needs the exact conditions
+
+    (22)  lambda1 != +-lambda2, lambda1 != 0, lambda2 != 0
+    (23)  b_i != 0 for all entries i
+    (24)  a_i * b_j != a_j * b_i for i != j.
+
+This module computes lambda1, lambda2 and the per-entry spectral
+coefficients (a_i, b_i) exactly inside Q(sqrt(disc)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.algebra.matrices import Matrix
+from repro.algebra.quadratic import QuadraticNumber
+
+
+@dataclass(frozen=True)
+class SpectralDecomposition:
+    """Eigen data of a 2x2 matrix A with distinct eigenvalues.
+
+    ``coefficients[(i, j)]`` is the pair (a_ij, b_ij) such that
+    ``(A^p)[i][j] == a_ij * lambda1**p + b_ij * lambda2**p`` for all p >= 0.
+    """
+
+    matrix: Matrix
+    lambda1: QuadraticNumber
+    lambda2: QuadraticNumber
+    coefficients: dict
+
+    def entry_at_power(self, i: int, j: int, p: int) -> QuadraticNumber:
+        a, b = self.coefficients[(i, j)]
+        return a * self.lambda1 ** p + b * self.lambda2 ** p
+
+    def power(self, p: int) -> Matrix:
+        """A^p reconstructed from the spectral data (exact)."""
+        return Matrix.from_function(
+            2, 2, lambda i, j: self.entry_at_power(i, j, p))
+
+
+def spectral_decomposition_2x2(matrix: Matrix) -> SpectralDecomposition:
+    """Exact eigen-decomposition of a 2x2 rational matrix.
+
+    Requires distinct eigenvalues (which Lemma 3.21 guarantees for the
+    small matrix of a final Type-I query).  Entries of ``matrix`` must be
+    Fractions; the result lives in Q(sqrt(discriminant)).
+    """
+    if matrix.nrows != 2 or matrix.ncols != 2:
+        raise ValueError("expected a 2x2 matrix")
+    a00 = Fraction(matrix[0, 0])
+    a01 = Fraction(matrix[0, 1])
+    a10 = Fraction(matrix[1, 0])
+    a11 = Fraction(matrix[1, 1])
+    trace = a00 + a11
+    det = a00 * a11 - a01 * a10
+    disc = trace * trace - 4 * det
+    if disc < 0:
+        raise ValueError("complex eigenvalues: not supported")
+    root = QuadraticNumber.sqrt(disc)
+    lambda1 = (QuadraticNumber(trace) + root) / 2
+    lambda2 = (QuadraticNumber(trace) - root) / 2
+    if lambda1 == lambda2:
+        raise ValueError("repeated eigenvalue: spectral form unavailable")
+
+    # Solve, per entry (i, j):  a + b = I[i][j],  a*l1 + b*l2 = A[i][j].
+    coefficients: dict[tuple[int, int], tuple] = {}
+    identity = ((Fraction(1), Fraction(0)), (Fraction(0), Fraction(1)))
+    entries = ((a00, a01), (a10, a11))
+    denom = lambda1 - lambda2
+    for i in range(2):
+        for j in range(2):
+            a = (QuadraticNumber(entries[i][j])
+                 - QuadraticNumber(identity[i][j]) * lambda2) / denom
+            b = QuadraticNumber(identity[i][j]) - a
+            coefficients[(i, j)] = (a, b)
+    return SpectralDecomposition(matrix=matrix, lambda1=lambda1,
+                                 lambda2=lambda2, coefficients=coefficients)
+
+
+def check_condition_22(dec: SpectralDecomposition) -> bool:
+    """lambda1 != +-lambda2 and both eigenvalues non-zero (Eq. 22)."""
+    zero = QuadraticNumber(0)
+    return (dec.lambda1 != zero and dec.lambda2 != zero
+            and dec.lambda1 != dec.lambda2
+            and dec.lambda1 != -dec.lambda2)
+
+
+def check_condition_23(dec: SpectralDecomposition,
+                       entries=((0, 0), (1, 0), (1, 1))) -> bool:
+    """b_i != 0 for the symmetric entries i in {00, 10, 11} (Eq. 23)."""
+    zero = QuadraticNumber(0)
+    return all(dec.coefficients[e][1] != zero for e in entries)
+
+
+def check_condition_24(dec: SpectralDecomposition,
+                       entries=((0, 0), (1, 0), (1, 1))) -> bool:
+    """a_i*b_j != a_j*b_i for all pairs i != j (Eq. 24)."""
+    for idx, e1 in enumerate(entries):
+        for e2 in entries[idx + 1:]:
+            a1, b1 = dec.coefficients[e1]
+            a2, b2 = dec.coefficients[e2]
+            if a1 * b2 == a2 * b1:
+                return False
+    return True

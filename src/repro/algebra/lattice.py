@@ -1,0 +1,91 @@
+"""The lattice of closed sets and its Moebius function (Definition C.6).
+
+Given formulas F = {F_1, ..., F_m}, the paper associates to each subset
+alpha of [m] the conjunction F_alpha and defines its *closure* as
+{i | F_alpha implies F_i}.  The lattice L^(F) consists of the closed sets
+ordered by reverse inclusion, with top element 1^ = empty set standing for
+the disjunction F_1 v ... v F_m.  The Moebius function mu is defined by
+mu(1^) = 1 and mu(alpha) = -sum_{beta > alpha} mu(beta); the *support*
+L(F) drops elements with mu = 0.
+
+The Type-II hardness proof (Appendix C) runs Moebius inversion over these
+lattices, so we implement them generically: the caller supplies m and a
+closure operator.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterable
+
+#: The top lattice element (stands for the disjunction of all formulas).
+TOP: frozenset[int] = frozenset()
+
+
+class Lattice:
+    """Lattice of closed subsets of {0, ..., m-1} under reverse inclusion."""
+
+    def __init__(self, m: int,
+                 closure: Callable[[frozenset[int]], frozenset[int]]):
+        self.m = m
+        self._closure = closure
+        self.elements: set[frozenset[int]] = {TOP}
+        for size in range(1, m + 1):
+            for subset in combinations(range(m), size):
+                closed = frozenset(closure(frozenset(subset)))
+                if not closed:
+                    raise ValueError(
+                        "closure of a non-empty set must contain it")
+                self.elements.add(closed)
+        self.mobius: dict[frozenset[int], int] = self._compute_mobius()
+
+    # ------------------------------------------------------------------
+    def leq(self, alpha: frozenset[int], beta: frozenset[int]) -> bool:
+        """alpha <= beta in the lattice order (reverse set inclusion)."""
+        return beta <= alpha
+
+    def lt(self, alpha: frozenset[int], beta: frozenset[int]) -> bool:
+        return beta < alpha
+
+    def closure(self, alpha: Iterable[int]) -> frozenset[int]:
+        alpha = frozenset(alpha)
+        if not alpha:
+            return TOP
+        return frozenset(self._closure(alpha))
+
+    def _compute_mobius(self) -> dict[frozenset[int], int]:
+        # Process from the top (smallest set) downwards.
+        ordered = sorted(self.elements, key=len)
+        mobius: dict[frozenset[int], int] = {}
+        for element in ordered:
+            if element == TOP:
+                mobius[element] = 1
+                continue
+            mobius[element] = -sum(
+                mobius[other] for other in ordered
+                if other < element)  # strict superset in lattice order
+        return mobius
+
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> list[frozenset[int]]:
+        """Elements with non-zero Moebius value, L(F)."""
+        return sorted((e for e in self.elements if self.mobius[e] != 0),
+                      key=lambda e: (len(e), sorted(e)))
+
+    @property
+    def strict_support(self) -> list[frozenset[int]]:
+        """The support minus the top element, L0(F) (Definition C.8)."""
+        return [e for e in self.support if e != TOP]
+
+    def mobius_inversion_terms(self) -> list[tuple[frozenset[int], int]]:
+        """Pairs (alpha, mu(alpha)) for alpha < 1^ with mu != 0, i.e. the
+        terms of Pr(F_1 v ... v F_m) = -sum_{alpha<1^} mu(alpha) Pr(F_alpha).
+        """
+        return [(e, self.mobius[e]) for e in self.strict_support]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{set(e) if e else '1^'}:{self.mobius[e]}"
+            for e in sorted(self.elements, key=lambda e: (len(e), sorted(e))))
+        return f"Lattice({parts})"

@@ -1,0 +1,68 @@
+"""Lemma 1.1: non-root assignments with values in a three-element set.
+
+    Let f(x1, ..., xn) be a multivariate polynomial, not identically 0,
+    where each variable has degree <= 2.  Let c1, c2, c3 be three distinct
+    constants.  Then there exists an assignment with values in {c1, c2, c3}
+    such that f does not vanish.
+
+The constructive proof substitutes one variable at a time: viewing f as a
+degree-<=2 polynomial in x_n over the ring of polynomials in the remaining
+variables, at most two of the three candidate values can turn f into the
+zero polynomial, so a greedy scan always succeeds.  This is exactly the
+mechanism the paper uses to pick probabilities in {0, 1/2, 1} that keep the
+small matrix non-singular.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.algebra.polynomials import Polynomial
+
+#: The probability values the paper cares about: {0, 1/2, 1}.
+PROBABILITY_VALUES: tuple[Fraction, ...] = (
+    Fraction(0), Fraction(1, 2), Fraction(1))
+
+
+def find_nonroot_assignment(
+    poly: Polynomial,
+    values: Sequence[Fraction] = PROBABILITY_VALUES,
+) -> dict[str, Fraction]:
+    """Return an assignment from ``values`` on which ``poly`` is non-zero.
+
+    Implements the constructive proof of Lemma 1.1.  Raises ``ValueError``
+    if ``poly`` is identically zero, if fewer than three distinct values
+    are supplied, or if some variable has degree > 2.
+    """
+    values = tuple(dict.fromkeys(Fraction(v) for v in values))
+    if len(values) < 3:
+        raise ValueError("Lemma 1.1 needs three distinct values")
+    if poly.is_zero():
+        raise ValueError("polynomial is identically zero")
+
+    assignment: dict[str, Fraction] = {}
+    current = poly
+    for var in sorted(poly.variables()):
+        if current.degree(var) > 2:
+            raise ValueError(f"variable {var} has degree > 2")
+        for value in values:
+            candidate = current.substitute({var: value})
+            if not candidate.is_zero():
+                assignment[var] = value
+                current = candidate
+                break
+        else:  # pragma: no cover - impossible per Lemma 1.1
+            raise AssertionError(
+                "Lemma 1.1 violated: all three substitutions vanish")
+    assert not current.is_zero()
+    return assignment
+
+
+def verify_lemma11(poly: Polynomial,
+                   values: Sequence[Fraction] = PROBABILITY_VALUES) -> bool:
+    """Check Lemma 1.1 holds for ``poly`` by running the solver and
+    re-evaluating the polynomial on the produced assignment."""
+    assignment = find_nonroot_assignment(poly, values)
+    full = {var: assignment.get(var, values[0]) for var in poly.variables()}
+    return poly.evaluate(full) != 0

@@ -1,0 +1,225 @@
+"""Exact dense linear algebra over the rationals (and any exact field).
+
+The Type-I reduction (Section 3.2) solves a linear system whose matrix is
+the "big matrix" M; Theorem 3.6 shows M is non-singular, so Gaussian
+elimination over Fractions recovers the signature counts *exactly*.  This
+module provides the small amount of linear algebra that the reductions
+need: determinant, rank, solving, inversion, and matrix powers.
+
+Entries may be any exact field elements supporting +, -, *, /, equality
+with 0 (Fractions and :class:`repro.algebra.quadratic.QuadraticNumber`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Sequence
+
+
+class Matrix:
+    """A small immutable exact matrix with fraction-friendly operations."""
+
+    __slots__ = ("rows", "nrows", "ncols")
+
+    def __init__(self, rows: Sequence[Sequence]):
+        data = tuple(tuple(entry for entry in row) for row in rows)
+        if data and any(len(row) != len(data[0]) for row in data):
+            raise ValueError("ragged rows")
+        self.rows = data
+        self.nrows = len(data)
+        self.ncols = len(data[0]) if data else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(n: int, one=Fraction(1), zero=Fraction(0)) -> "Matrix":
+        return Matrix([[one if i == j else zero for j in range(n)]
+                       for i in range(n)])
+
+    @staticmethod
+    def from_function(nrows: int, ncols: int,
+                      fn: Callable[[int, int], object]) -> "Matrix":
+        return Matrix([[fn(i, j) for j in range(ncols)]
+                       for i in range(nrows)])
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    def __getitem__(self, pos: tuple[int, int]):
+        i, j = pos
+        return self.rows[i][j]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Matrix({[list(r) for r in self.rows]!r})"
+
+    def transpose(self) -> "Matrix":
+        return Matrix([[self.rows[i][j] for i in range(self.nrows)]
+                       for j in range(self.ncols)])
+
+    def scale(self, factor) -> "Matrix":
+        return Matrix([[entry * factor for entry in row]
+                       for row in self.rows])
+
+    def __add__(self, other: "Matrix") -> "Matrix":
+        if (self.nrows, self.ncols) != (other.nrows, other.ncols):
+            raise ValueError("shape mismatch")
+        return Matrix([[a + b for a, b in zip(r1, r2)]
+                       for r1, r2 in zip(self.rows, other.rows)])
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        return self + other.scale(-1)
+
+    def __mul__(self, other: "Matrix") -> "Matrix":
+        if self.ncols != other.nrows:
+            raise ValueError("shape mismatch")
+        cols = other.transpose().rows
+        return Matrix([[_dot(row, col) for col in cols]
+                       for row in self.rows])
+
+    def __pow__(self, n: int) -> "Matrix":
+        if self.nrows != self.ncols:
+            raise ValueError("matrix power needs a square matrix")
+        if n < 0:
+            raise ValueError("negative matrix powers are not supported")
+        result = Matrix.identity(self.nrows,
+                                 one=_one_like(self), zero=_zero_like(self))
+        base = self
+        while n:
+            if n & 1:
+                result = result * base
+            base = base * base
+            n >>= 1
+        return result
+
+    def apply(self, vector: Sequence) -> list:
+        """Matrix-vector product."""
+        if len(vector) != self.ncols:
+            raise ValueError("shape mismatch")
+        return [_dot(row, vector) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Elimination-based operations
+    # ------------------------------------------------------------------
+    def determinant(self):
+        """Exact determinant via fraction-free-ish Gaussian elimination."""
+        if self.nrows != self.ncols:
+            raise ValueError("determinant needs a square matrix")
+        n = self.nrows
+        if n == 0:
+            return Fraction(1)
+        work = [list(row) for row in self.rows]
+        det = _one_like(self)
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if work[r][col] != 0), None)
+            if pivot_row is None:
+                return _zero_like(self)
+            if pivot_row != col:
+                work[col], work[pivot_row] = work[pivot_row], work[col]
+                det = det * -1
+            pivot = work[col][col]
+            det = det * pivot
+            for r in range(col + 1, n):
+                if work[r][col] != 0:
+                    factor = work[r][col] / pivot
+                    work[r] = [a - factor * b
+                               for a, b in zip(work[r], work[col])]
+        return det
+
+    def rank(self) -> int:
+        work = [list(row) for row in self.rows]
+        rank = 0
+        for col in range(self.ncols):
+            pivot_row = next(
+                (r for r in range(rank, self.nrows) if work[r][col] != 0),
+                None)
+            if pivot_row is None:
+                continue
+            work[rank], work[pivot_row] = work[pivot_row], work[rank]
+            pivot = work[rank][col]
+            for r in range(self.nrows):
+                if r != rank and work[r][col] != 0:
+                    factor = work[r][col] / pivot
+                    work[r] = [a - factor * b
+                               for a, b in zip(work[r], work[rank])]
+            rank += 1
+            if rank == self.nrows:
+                break
+        return rank
+
+    def is_singular(self) -> bool:
+        return self.determinant() == 0
+
+    def solve(self, rhs: Sequence) -> list:
+        """Solve ``self @ x = rhs`` exactly (square, non-singular)."""
+        if self.nrows != self.ncols:
+            raise ValueError("solve needs a square matrix")
+        n = self.nrows
+        if len(rhs) != n:
+            raise ValueError("rhs length mismatch")
+        work = [list(row) + [rhs[i]] for i, row in enumerate(self.rows)]
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if work[r][col] != 0), None)
+            if pivot_row is None:
+                raise ValueError("matrix is singular")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot = work[col][col]
+            work[col] = [entry / pivot for entry in work[col]]
+            for r in range(n):
+                if r != col and work[r][col] != 0:
+                    factor = work[r][col]
+                    work[r] = [a - factor * b
+                               for a, b in zip(work[r], work[col])]
+        return [work[i][n] for i in range(n)]
+
+    def inverse(self) -> "Matrix":
+        if self.nrows != self.ncols:
+            raise ValueError("inverse needs a square matrix")
+        n = self.nrows
+        cols = []
+        identity = Matrix.identity(n, one=_one_like(self),
+                                   zero=_zero_like(self))
+        for j in range(n):
+            cols.append(self.solve([identity[i, j] for i in range(n)]))
+        return Matrix(cols).transpose()
+
+    def kronecker(self, other: "Matrix") -> "Matrix":
+        """Kronecker product (used by Lemma 3.7's Vandermonde argument)."""
+        rows = []
+        for r1 in self.rows:
+            for r2 in other.rows:
+                rows.append([a * b for a in r1 for b in r2])
+        return Matrix(rows)
+
+
+def _dot(xs, ys):
+    total = None
+    for x, y in zip(xs, ys):
+        term = x * y
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("empty dot product")
+    return total
+
+
+def _zero_like(matrix: Matrix):
+    sample = matrix.rows[0][0]
+    return sample - sample
+
+
+def _one_like(matrix: Matrix):
+    sample = matrix.rows[0][0]
+    zero = sample - sample
+    if sample != zero:
+        return sample / sample
+    return Fraction(1)

@@ -1,0 +1,239 @@
+"""Sparse multivariate polynomials over the rationals.
+
+The hardness proofs in the paper manipulate *arithmetizations* of Boolean
+formulas: multilinear polynomials in the tuple-probability variables.  The
+determinant of the small matrix (Lemma 1.2) multiplies two multilinear
+polynomials, so per-variable degrees up to 2 arise naturally; this class
+supports arbitrary integer exponents.
+
+Monomials are represented as a sorted tuple of ``(variable, exponent)``
+pairs; coefficients are :class:`fractions.Fraction`.  Polynomials are
+immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+Monomial = tuple[tuple[str, int], ...]
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+def _normalize_monomial(pairs: Iterable[tuple[str, int]]) -> Monomial:
+    """Merge duplicate variables, drop zero exponents, sort by name."""
+    merged: dict[str, int] = {}
+    for var, exp in pairs:
+        merged[var] = merged.get(var, 0) + exp
+    return tuple(sorted((v, e) for v, e in merged.items() if e != 0))
+
+
+class Polynomial:
+    """An immutable sparse multivariate polynomial with Fraction coefficients."""
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, Fraction] | None = None):
+        cleaned: dict[Monomial, Fraction] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                coeff = Fraction(coeff)
+                if coeff != 0:
+                    cleaned[_normalize_monomial(mono)] = coeff
+        self._terms: dict[Monomial, Fraction] = cleaned
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> "Polynomial":
+        return Polynomial()
+
+    @staticmethod
+    def constant(value) -> "Polynomial":
+        value = Fraction(value)
+        if value == 0:
+            return Polynomial()
+        return Polynomial({(): value})
+
+    @staticmethod
+    def variable(name: str) -> "Polynomial":
+        return Polynomial({((name, 1),): _ONE})
+
+    @staticmethod
+    def one() -> "Polynomial":
+        return Polynomial.constant(1)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def terms(self) -> dict[Monomial, Fraction]:
+        """The monomial -> coefficient mapping (a defensive copy)."""
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        return all(mono == () for mono in self._terms)
+
+    def constant_value(self) -> Fraction:
+        """The value of a constant polynomial (raises if non-constant)."""
+        if not self.is_constant():
+            raise ValueError(f"polynomial is not constant: {self}")
+        return self._terms.get((), _ZERO)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(v for mono in self._terms for v, _ in mono)
+
+    def degree(self, var: str) -> int:
+        """Degree of ``var`` in this polynomial (0 when absent)."""
+        best = 0
+        for mono in self._terms:
+            for v, e in mono:
+                if v == var and e > best:
+                    best = e
+        return best
+
+    def total_degree(self) -> int:
+        if not self._terms:
+            return 0
+        return max(sum(e for _, e in mono) for mono in self._terms)
+
+    def coefficient_of(self, var: str, power: int) -> "Polynomial":
+        """The polynomial coefficient of ``var**power`` (in remaining vars)."""
+        out: dict[Monomial, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            exp = dict(mono).get(var, 0)
+            if exp == power:
+                rest = tuple((v, e) for v, e in mono if v != var)
+                out[rest] = out.get(rest, _ZERO) + coeff
+        return Polynomial(out)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Polynomial":
+        other = _coerce(other)
+        out = dict(self._terms)
+        for mono, coeff in other._terms.items():
+            out[mono] = out.get(mono, _ZERO) + coeff
+        return Polynomial(out)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other) -> "Polynomial":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other) -> "Polynomial":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Polynomial":
+        other = _coerce(other)
+        out: dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                mono = _normalize_monomial(m1 + m2)
+                out[mono] = out.get(mono, _ZERO) + c1 * c2
+        return Polynomial(out)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, n: int) -> "Polynomial":
+        if n < 0:
+            raise ValueError("negative powers are not supported")
+        result = Polynomial.one()
+        base = self
+        while n:
+            if n & 1:
+                result = result * base
+            base = base * base
+            n >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Substitution and evaluation
+    # ------------------------------------------------------------------
+    def substitute(self, assignment: Mapping[str, object]) -> "Polynomial":
+        """Substitute variables with constants or other polynomials.
+
+        Values may be Fractions, ints, or :class:`Polynomial` instances
+        (the latter enables variable renaming and composition).
+        """
+        result = Polynomial.zero()
+        for mono, coeff in self._terms.items():
+            term = Polynomial.constant(coeff)
+            for var, exp in mono:
+                if var in assignment:
+                    value = assignment[var]
+                    factor = value if isinstance(value, Polynomial) \
+                        else Polynomial.constant(value)
+                else:
+                    factor = Polynomial.variable(var)
+                term = term * factor ** exp
+            result = result + term
+        return result
+
+    def evaluate(self, assignment: Mapping[str, object]) -> Fraction:
+        """Fully evaluate; every variable must be assigned a rational."""
+        total = _ZERO
+        for mono, coeff in self._terms.items():
+            value = coeff
+            for var, exp in mono:
+                if var not in assignment:
+                    raise KeyError(f"unassigned variable: {var}")
+                value *= Fraction(assignment[var]) ** exp
+            total += value
+        return total
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Rename variables (non-renamed variables are kept)."""
+        out: dict[Monomial, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            new = _normalize_monomial(
+                (mapping.get(v, v), e) for v, e in mono)
+            out[new] = out.get(new, _ZERO) + coeff
+        return Polynomial(out)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self._terms.items()):
+            factors = [] if coeff != 1 or not mono else []
+            if coeff != 1 or not mono:
+                factors.append(str(coeff))
+            for var, exp in mono:
+                factors.append(var if exp == 1 else f"{var}^{exp}")
+            parts.append("*".join(factors))
+        return " + ".join(parts)
+
+
+def _coerce(value) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    return Polynomial.constant(value)

@@ -1,0 +1,202 @@
+"""Exact arithmetic in the real quadratic field Q(sqrt(d)).
+
+The eigenvalues of the small matrix A(1) (Lemma 3.21) are
+
+    lambda_{1,2} = ((z00 + z11) +- sqrt((z11 - z00)^2 + 4*z01*z10)) / 2,
+
+which are irrational in general.  Theorem 3.14's conditions (22)-(24) are
+*equalities and disequalities* between expressions in lambda_1, lambda_2
+and the spectral coefficients a_i, b_i; deciding them with floating point
+would be unsound.  ``QuadraticNumber`` represents a + b*sqrt(d) with
+rational a, b and a fixed non-negative square-free-ish radicand d, giving
+exact field arithmetic, equality, and sign tests.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+
+class QuadraticNumber:
+    """An element a + b*sqrt(d) of Q(sqrt(d)), with d a fixed rational >= 0.
+
+    Two numbers may be combined only if their radicands agree (or either
+    has b == 0, in which case it is plain rational and coerces freely).
+    """
+
+    __slots__ = ("a", "b", "d")
+
+    def __init__(self, a, b=0, d=0):
+        self.a = Fraction(a)
+        self.b = Fraction(b)
+        self.d = Fraction(d)
+        if self.d < 0:
+            raise ValueError("radicand must be non-negative (real field)")
+        if self.d == 0 or _is_rational_square(self.d):
+            # sqrt(d) is rational: fold it into the rational part.
+            root = _rational_sqrt(self.d)
+            self.a = self.a + self.b * root
+            self.b = Fraction(0)
+            self.d = Fraction(0)
+        if self.b == 0:
+            self.d = Fraction(0)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sqrt(d) -> "QuadraticNumber":
+        """The number sqrt(d) for rational d >= 0."""
+        return QuadraticNumber(0, 1, d)
+
+    def is_rational(self) -> bool:
+        return self.b == 0
+
+    def to_fraction(self) -> Fraction:
+        if not self.is_rational():
+            raise ValueError(f"{self} is irrational")
+        return self.a
+
+    def conjugate(self) -> "QuadraticNumber":
+        return QuadraticNumber(self.a, -self.b, self.d)
+
+    def __float__(self) -> float:
+        return float(self.a) + float(self.b) * math.sqrt(float(self.d))
+
+    # ------------------------------------------------------------------
+    # Field arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "QuadraticNumber":
+        if isinstance(other, QuadraticNumber):
+            if other.b == 0 or self.b == 0 or other.d == self.d:
+                return other
+            raise ValueError(
+                f"incompatible radicands: {self.d} vs {other.d}")
+        return QuadraticNumber(Fraction(other))
+
+    def _result_d(self, other: "QuadraticNumber") -> Fraction:
+        return self.d if self.b != 0 else other.d
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        return QuadraticNumber(self.a + other.a, self.b + other.b,
+                               self._result_d(other))
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return QuadraticNumber(-self.a, -self.b, self.d)
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        d = self._result_d(other)
+        return QuadraticNumber(
+            self.a * other.a + self.b * other.b * d,
+            self.a * other.b + self.b * other.a,
+            d)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        norm = other.a * other.a - other.b * other.b * other.d
+        if norm == 0:
+            if other.a == 0 and other.b == 0:
+                raise ZeroDivisionError("division by zero")
+            # a^2 == b^2 d with d a non-square: impossible unless zero.
+            raise ZeroDivisionError("division by zero norm element")
+        inv = QuadraticNumber(other.a / norm, -other.b / norm, other.d)
+        return self * inv
+
+    def __rtruediv__(self, other):
+        return self._coerce(other) / self
+
+    def __pow__(self, n: int):
+        if n < 0:
+            return QuadraticNumber(1) / self ** (-n)
+        result = QuadraticNumber(1)
+        base = self
+        while n:
+            if n & 1:
+                result = result * base
+            base = base * base
+            n >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Comparisons (exact: sign of a + b*sqrt(d))
+    # ------------------------------------------------------------------
+    def sign(self) -> int:
+        """Exact sign of the real number a + b*sqrt(d)."""
+        if self.b == 0:
+            return _sign(self.a)
+        if self.a == 0:
+            return _sign(self.b)
+        if self.a > 0 and self.b > 0:
+            return 1
+        if self.a < 0 and self.b < 0:
+            return -1
+        # Opposite signs: compare a^2 with b^2 d, sign decided by |a| side.
+        lhs = self.a * self.a
+        rhs = self.b * self.b * self.d
+        if lhs == rhs:
+            return 0
+        bigger_is_a = lhs > rhs
+        return _sign(self.a) if bigger_is_a else _sign(self.b)
+
+    def __eq__(self, other) -> bool:
+        try:
+            other = self._coerce(other)
+        except (ValueError, TypeError):
+            return NotImplemented
+        return (self - other).sign() == 0
+
+    def __lt__(self, other) -> bool:
+        return (self - self._coerce(other)).sign() < 0
+
+    def __le__(self, other) -> bool:
+        return (self - self._coerce(other)).sign() <= 0
+
+    def __gt__(self, other) -> bool:
+        return (self - self._coerce(other)).sign() > 0
+
+    def __ge__(self, other) -> bool:
+        return (self - self._coerce(other)).sign() >= 0
+
+    def __hash__(self) -> int:
+        if self.b == 0:
+            return hash(self.a)
+        return hash((self.a, self.b, self.d))
+
+    def __repr__(self) -> str:
+        if self.b == 0:
+            return f"{self.a}"
+        return f"({self.a} + {self.b}*sqrt({self.d}))"
+
+
+def _sign(value: Fraction) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def _is_rational_square(value: Fraction) -> bool:
+    if value < 0:
+        return False
+    num = math.isqrt(value.numerator)
+    den = math.isqrt(value.denominator)
+    return num * num == value.numerator and den * den == value.denominator
+
+
+def _rational_sqrt(value: Fraction) -> Fraction:
+    if not _is_rational_square(value):
+        raise ValueError(f"{value} is not a rational square")
+    return Fraction(math.isqrt(value.numerator),
+                    math.isqrt(value.denominator))

@@ -1,0 +1,21 @@
+"""Monotone Boolean formulas in CNF, connectivity analysis, and
+arithmetization (the bridge between logic and algebra of Section 1.6)."""
+
+from repro.booleans.cnf import CNF, Clause
+from repro.booleans.connectivity import (
+    is_connected,
+    disconnects,
+    variable_disconnects,
+    clause_distance,
+)
+from repro.booleans.arithmetize import arithmetize
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "is_connected",
+    "disconnects",
+    "variable_disconnects",
+    "clause_distance",
+    "arithmetize",
+]

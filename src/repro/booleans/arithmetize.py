@@ -1,0 +1,66 @@
+"""Arithmetization of monotone Boolean formulas (Section 1.6).
+
+The arithmetization of Y is the unique multilinear polynomial y that
+agrees with Y on {0,1}^n; equivalently, y expresses Pr(Y) in terms of the
+marginal probabilities of the independent Boolean variables.  Example
+from the paper: Y = (R v S) & (S v T) arithmetizes to rt + s - rst.
+
+The computation mirrors an exact weighted model counter run symbolically:
+independent components multiply, and otherwise we apply the Shannon
+expansion  y = p_X * y[X:=1] + (1 - p_X) * y[X:=0]  on a most-shared
+variable, with memoization on the canonical CNF.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algebra.polynomials import Polynomial
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import clause_components
+
+
+def arithmetize(formula: CNF, name: Callable[[object], str] = str,
+                _cache: dict | None = None) -> Polynomial:
+    """The arithmetization of ``formula`` as a multilinear polynomial.
+
+    ``name`` maps a Boolean variable token to the polynomial-variable
+    name holding its marginal probability (default: ``str``).
+    """
+    cache: dict[CNF, Polynomial] = {} if _cache is None else _cache
+    return _arithmetize(formula, name, cache)
+
+
+def _arithmetize(formula: CNF, name, cache) -> Polynomial:
+    if formula.is_true():
+        return Polynomial.one()
+    if formula.is_false():
+        return Polynomial.zero()
+    hit = cache.get(formula)
+    if hit is not None:
+        return hit
+
+    groups = clause_components(formula)
+    if len(groups) > 1:
+        result = Polynomial.one()
+        for group in groups:
+            result = result * _arithmetize(CNF(group), name, cache)
+        cache[formula] = result
+        return result
+
+    var = _most_shared_variable(formula)
+    p = Polynomial.variable(name(var))
+    high = _arithmetize(formula.condition(var, True), name, cache)
+    low = _arithmetize(formula.condition(var, False), name, cache)
+    result = p * high + (Polynomial.one() - p) * low
+    cache[formula] = result
+    return result
+
+
+def _most_shared_variable(formula: CNF):
+    counts: dict[object, int] = {}
+    for clause in formula.clauses:
+        for var in clause:
+            counts[var] = counts.get(var, 0) + 1
+    # Deterministic tie-break on the token's repr.
+    return max(counts, key=lambda v: (counts[v], repr(v)))

@@ -1,0 +1,161 @@
+"""Monotone Boolean formulas in conjunctive normal form.
+
+Lineages of forall-CNF queries over tuple-independent databases are
+monotone CNFs over tuple variables (footnote 4 of the paper); all the
+Boolean reasoning in the hardness proofs happens on such formulas.
+
+A clause is a frozenset of variables (a positive disjunction); a CNF is a
+set of clauses, kept *minimized by absorption*: no clause is a superset of
+another.  Monotone CNFs enjoy two properties the code relies on:
+
+* the absorption-minimal clause set is canonical, so structural equality
+  is logical equivalence;
+* implication is subsumption: F implies G iff every clause of G contains
+  some clause of F.
+
+``CNF.TRUE`` is the empty conjunction; ``CNF.FALSE`` contains the empty
+clause.  Variables may be any hashable token (tuple tokens name ground
+tuples, e.g. ``('S1', 'u', 'v')``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Hashable
+
+Var = Hashable
+Clause = frozenset
+
+
+def _absorb(clauses: Iterable[frozenset]) -> frozenset:
+    """Drop clauses that are supersets of other clauses (absorption)."""
+    unique = set(map(frozenset, clauses))
+    if frozenset() in unique:
+        return frozenset({frozenset()})
+    by_size = sorted(unique, key=len)
+    kept: list[frozenset] = []
+    for clause in by_size:
+        if not any(other <= clause for other in kept):
+            kept.append(clause)
+    return frozenset(kept)
+
+
+class CNF:
+    """An immutable, absorption-minimized monotone CNF."""
+
+    __slots__ = ("clauses", "_hash")
+
+    def __init__(self, clauses: Iterable[Iterable[Var]] = ()):
+        self.clauses: frozenset[frozenset] = _absorb(
+            frozenset(clause) for clause in clauses)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    TRUE: "CNF"
+    FALSE: "CNF"
+
+    def is_true(self) -> bool:
+        return not self.clauses
+
+    def is_false(self) -> bool:
+        return frozenset() in self.clauses
+
+    def variables(self) -> frozenset:
+        return frozenset(v for clause in self.clauses for v in clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def conjoin(self, other: "CNF") -> "CNF":
+        if self.is_false() or other.is_false():
+            return CNF.FALSE
+        return CNF(self.clauses | other.clauses)
+
+    def __and__(self, other: "CNF") -> "CNF":
+        return self.conjoin(other)
+
+    def disjoin(self, other: "CNF") -> "CNF":
+        """Distribute the disjunction over both clause sets."""
+        if self.is_true() or other.is_true():
+            return CNF.TRUE
+        return CNF(c1 | c2 for c1 in self.clauses for c2 in other.clauses)
+
+    def __or__(self, other: "CNF") -> "CNF":
+        return self.disjoin(other)
+
+    @staticmethod
+    def conjunction(parts: Iterable["CNF"]) -> "CNF":
+        clauses: list[frozenset] = []
+        for part in parts:
+            if part.is_false():
+                return CNF.FALSE
+            clauses.extend(part.clauses)
+        return CNF(clauses)
+
+    @staticmethod
+    def disjunction(parts: Iterable["CNF"]) -> "CNF":
+        result = CNF.FALSE
+        for part in parts:
+            result = result.disjoin(part)
+        return result
+
+    # ------------------------------------------------------------------
+    # Conditioning and evaluation
+    # ------------------------------------------------------------------
+    def condition(self, var: Var, value: bool) -> "CNF":
+        """The cofactor F[var := value]."""
+        if value:
+            return CNF(c for c in self.clauses if var not in c)
+        return CNF(c - {var} for c in self.clauses)
+
+    def condition_many(self, assignment: dict) -> "CNF":
+        result = self
+        for var, value in assignment.items():
+            result = result.condition(var, bool(value))
+        return result
+
+    def evaluate(self, true_vars: Iterable[Var]) -> bool:
+        """Truth value when exactly ``true_vars`` are true."""
+        true_set = set(true_vars)
+        return all(clause & true_set for clause in self.clauses)
+
+    def implies(self, other: "CNF") -> bool:
+        """Monotone-CNF implication via clause subsumption."""
+        return all(
+            any(mine <= theirs for mine in self.clauses)
+            for theirs in other.clauses)
+
+    def equivalent(self, other: "CNF") -> bool:
+        return self.clauses == other.clauses
+
+    def rename(self, mapping: dict) -> "CNF":
+        return CNF(
+            frozenset(mapping.get(v, v) for v in clause)
+            for clause in self.clauses)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CNF):
+            return NotImplemented
+        return self.clauses == other.clauses
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.clauses)
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.is_true():
+            return "CNF(TRUE)"
+        if self.is_false():
+            return "CNF(FALSE)"
+        parts = sorted(
+            "(" + " | ".join(sorted(map(str, clause))) + ")"
+            for clause in self.clauses)
+        return "CNF[" + " & ".join(parts) + "]"
+
+
+CNF.TRUE = CNF()
+CNF.FALSE = CNF([[]])

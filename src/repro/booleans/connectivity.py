@@ -1,0 +1,120 @@
+"""Connectivity of monotone Boolean formulas (Definition B.2).
+
+For monotone CNFs, connectedness is a graph property on the canonical
+clause set: clauses are nodes, and clauses sharing a variable are
+adjacent.  A formula is *connected* when that graph has a single
+component (ignoring the trivial formulas).  ``F`` *disconnects* variable
+sets ``U, V`` when no component touches both, and a Boolean variable
+``X`` disconnects ``U, V`` when both cofactors ``F[X:=0]`` and
+``F[X:=1]`` do.  These notions drive Lemma 1.2 (small-matrix
+singularity), Lemma 3.15, and the migrating-variable analysis of
+Appendix B/C.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.booleans.cnf import CNF
+
+
+def clause_components(formula: CNF) -> list[frozenset[frozenset]]:
+    """Partition the clause set into variable-sharing components."""
+    clauses = [c for c in formula.clauses if c]
+    var_to_clauses: dict[object, list[int]] = {}
+    for idx, clause in enumerate(clauses):
+        for var in clause:
+            var_to_clauses.setdefault(var, []).append(idx)
+    seen: set[int] = set()
+    components: list[frozenset[frozenset]] = []
+    for start in range(len(clauses)):
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        group = []
+        while queue:
+            idx = queue.popleft()
+            group.append(clauses[idx])
+            for var in clauses[idx]:
+                for nxt in var_to_clauses[var]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(nxt)
+        components.append(frozenset(group))
+    return components
+
+
+def components(formula: CNF) -> list[CNF]:
+    """The formula split into independent (variable-disjoint) conjuncts."""
+    return [CNF(group) for group in clause_components(formula)]
+
+
+def is_connected(formula: CNF) -> bool:
+    """True when F does not decompose into two variable-disjoint,
+    non-constant conjuncts (Definition B.2)."""
+    if formula.is_true() or formula.is_false():
+        return True
+    return len(clause_components(formula)) <= 1
+
+
+def disconnects(formula: CNF, left: Iterable, right: Iterable) -> bool:
+    """Does F = F1 & F2 with disjoint variables separate ``left`` from
+    ``right`` (right absent from F1, left absent from F2)?"""
+    left = frozenset(left)
+    right = frozenset(right)
+    if formula.is_false():
+        return True
+    for group in clause_components(formula):
+        group_vars = frozenset(v for clause in group for v in clause)
+        if group_vars & left and group_vars & right:
+            return False
+    return True
+
+
+def variable_disconnects(formula: CNF, var, left: Iterable,
+                         right: Iterable) -> bool:
+    """A Boolean variable X disconnects U, V iff both cofactors do."""
+    return (disconnects(formula.condition(var, False), left, right)
+            and disconnects(formula.condition(var, True), left, right))
+
+
+def clause_distance(formula: CNF, left: Iterable, right: Iterable) -> int | None:
+    """The minimum k such that clauses C0, ..., Ck connect ``left`` to
+    ``right`` with consecutive clauses sharing a variable (Appendix B).
+
+    Returns None when no such path exists (the sets are disconnected).
+    """
+    left = frozenset(left)
+    right = frozenset(right)
+    clauses = [c for c in formula.clauses if c]
+    var_to_clauses: dict[object, list[int]] = {}
+    for idx, clause in enumerate(clauses):
+        for var in clause:
+            var_to_clauses.setdefault(var, []).append(idx)
+    starts = [i for i, c in enumerate(clauses) if c & left]
+    dist = {i: 0 for i in starts}
+    queue = deque(starts)
+    while queue:
+        idx = queue.popleft()
+        if clauses[idx] & right:
+            return dist[idx]
+        for var in clauses[idx]:
+            for nxt in var_to_clauses[var]:
+                if nxt not in dist:
+                    dist[nxt] = dist[idx] + 1
+                    queue.append(nxt)
+    return None
+
+
+def ball(formula: CNF, center: Iterable, radius: int) -> frozenset:
+    """B(U, m) = the set of variables at clause-distance <= radius from U
+    (Appendix B)."""
+    center = frozenset(center)
+    result = set()
+    for var in formula.variables():
+        d = clause_distance(formula, center, {var})
+        if d is not None and d <= radius:
+            result.add(var)
+    return frozenset(result)

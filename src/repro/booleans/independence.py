@@ -1,0 +1,109 @@
+"""Finite joint distributions and Lemma B.11.
+
+Lemma B.11: for jointly distributed random variables X, Y, U, V with Y
+*binary*,
+
+    (U independent of V given X)  and  (UX independent of V given Y)
+        implies   (V independent of Y)  or  (U independent of Y given X).
+
+The paper uses it to prove that migration is symmetric
+(Corollary B.12).  The implication fails for non-binary Y, so we model
+arbitrary finite joints explicitly and machine-check both the lemma and
+the necessity of the binarity hypothesis.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Hashable, Mapping, Sequence
+
+F = Fraction
+
+
+class FiniteJoint:
+    """A joint distribution over named discrete variables.
+
+    ``table`` maps outcome tuples (one value per variable, in
+    ``variables`` order) to probabilities summing to 1.
+    """
+
+    def __init__(self, variables: Sequence[str],
+                 table: Mapping[tuple, Fraction]):
+        self.variables = tuple(variables)
+        self.table = {outcome: F(p) for outcome, p in table.items()
+                      if p != 0}
+        total = sum(self.table.values(), F(0))
+        if total != 1:
+            raise ValueError(f"probabilities sum to {total}, not 1")
+        for outcome in self.table:
+            if len(outcome) != len(self.variables):
+                raise ValueError(f"malformed outcome {outcome}")
+
+    # ------------------------------------------------------------------
+    def _index(self, var: str) -> int:
+        return self.variables.index(var)
+
+    def probability(self, event: Mapping[str, Hashable]) -> Fraction:
+        """Pr(AND_{var} var = value)."""
+        indices = {self._index(var): value
+                   for var, value in event.items()}
+        total = F(0)
+        for outcome, p in self.table.items():
+            if all(outcome[i] == v for i, v in indices.items()):
+                total += p
+        return total
+
+    def support(self, var: str) -> list:
+        i = self._index(var)
+        return sorted({outcome[i] for outcome in self.table}, key=repr)
+
+    # ------------------------------------------------------------------
+    def independent(self, left: Sequence[str],
+                    right: Sequence[str]) -> bool:
+        """U independent of V (as variable groups)."""
+        return self.conditionally_independent(left, right, ())
+
+    def conditionally_independent(self, left: Sequence[str],
+                                  right: Sequence[str],
+                                  given: Sequence[str]) -> bool:
+        """U independent of V given Z, by definition:
+        Pr(UVZ) Pr(Z) == Pr(UZ) Pr(VZ) for all outcomes."""
+        left, right, given = list(left), list(right), list(given)
+        supports = [self.support(v) for v in left + right + given]
+        for values in iter_product(*supports):
+            u_event = dict(zip(left, values[:len(left)]))
+            v_event = dict(zip(right,
+                               values[len(left):len(left) + len(right)]))
+            z_event = dict(zip(given, values[len(left) + len(right):]))
+            joint = self.probability({**u_event, **v_event, **z_event})
+            pz = self.probability(z_event)
+            pu = self.probability({**u_event, **z_event})
+            pv = self.probability({**v_event, **z_event})
+            if joint * pz != pu * pv:
+                return False
+        return True
+
+
+def lemma_b11_conclusion(joint: FiniteJoint, x: str, y: str,
+                         u: str, v: str) -> bool:
+    """The conclusion of Lemma B.11: (V indep Y) or (U indep Y | X)."""
+    return (joint.independent([v], [y])
+            or joint.conditionally_independent([u], [y], [x]))
+
+
+def lemma_b11_hypotheses(joint: FiniteJoint, x: str, y: str,
+                         u: str, v: str) -> bool:
+    """The hypotheses: (U indep V | X) and (UX indep V | Y)."""
+    return (joint.conditionally_independent([u], [v], [x])
+            and joint.conditionally_independent([u, x], [v], [y]))
+
+
+def check_lemma_b11(joint: FiniteJoint, x: str, y: str,
+                    u: str, v: str) -> bool:
+    """True when the Lemma B.11 implication holds on this joint
+    (vacuously when the hypotheses fail).  Requires binary Y to be a
+    theorem; callers may probe non-binary Y for counterexamples."""
+    if not lemma_b11_hypotheses(joint, x, y, u, v):
+        return True
+    return lemma_b11_conclusion(joint, x, y, u, v)

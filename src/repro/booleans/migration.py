@@ -1,0 +1,106 @@
+"""Migrating variables and conditional independence (Appendix B).
+
+For a monotone Boolean formula F with independent variables, write
+Pr_F(-) = Pr(- | F) for the distribution conditioned on F being true.
+Appendix B connects three views of separation:
+
+* syntactic: X disconnects U, V when both cofactors F[X:=0], F[X:=1]
+  split into variable-disjoint parts separating U from V;
+* probabilistic (Lemma B.7): X disconnects U, V iff U and V are
+  conditionally independent given X in Pr_F;
+* algebraic (Theorem B.1): the 2x2 matrix of cofactor arithmetizations
+  has rank 1 iff its determinant vanishes identically.
+
+A variable Y is *migrating* w.r.t. (X, U, V) (Definition B.8) when X
+disconnects U, V but disconnects neither U+Y, V nor U, V+Y — Y sits on
+different sides in the two cofactors.  Corollary B.12: migration is
+symmetric in X and Y.  Migrating variables are what complicates the
+Type-II consistent-assignment argument (Section C.7 onward).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Iterable, Mapping
+
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import variable_disconnects
+from repro.tid.wmc import cnf_probability
+
+HALF = Fraction(1, 2)
+
+
+def conditioned_probability(formula: CNF, prob: Mapping,
+                            event: Mapping) -> Fraction:
+    """Pr_F(event) = Pr(event and F) / Pr(F) for a partial assignment
+    ``event`` (variable -> bool)."""
+    denominator = cnf_probability(formula, prob)
+    if denominator == 0:
+        raise ZeroDivisionError("conditioning on an impossible formula")
+    restricted = formula.condition_many(event)
+    weight = Fraction(1)
+    lookup = prob if callable(prob) else \
+        (lambda v: prob.get(v, HALF))  # noqa: E731
+    for var, value in event.items():
+        p = Fraction(lookup(var))
+        weight *= p if value else 1 - p
+    return weight * cnf_probability(restricted, prob) / denominator
+
+
+def conditionally_independent(formula: CNF, prob: Mapping,
+                              left: Iterable, right: Iterable,
+                              given) -> bool:
+    """U ⊥_F V | X, decided by exhaustive checking of
+    Pr(U=a, V=b | X=x) = Pr(U=a | X=x) * Pr(V=b | X=x)."""
+    left = sorted(set(left), key=repr)
+    right = sorted(set(right), key=repr)
+    for x_value in (False, True):
+        base = {given: x_value}
+        pr_x = conditioned_probability(formula, prob, base)
+        if pr_x == 0:
+            continue
+        for l_bits in iter_product((False, True), repeat=len(left)):
+            l_event = dict(zip(left, l_bits))
+            for r_bits in iter_product((False, True), repeat=len(right)):
+                r_event = dict(zip(right, r_bits))
+                joint = conditioned_probability(
+                    formula, prob, {**base, **l_event, **r_event})
+                p_l = conditioned_probability(formula, prob,
+                                              {**base, **l_event})
+                p_r = conditioned_probability(formula, prob,
+                                              {**base, **r_event})
+                if joint * pr_x != p_l * p_r:
+                    return False
+    return True
+
+
+def is_migrating(formula: CNF, x, y, left: Iterable,
+                 right: Iterable) -> bool:
+    """Definition B.8: Y migrates w.r.t. (X, U, V)."""
+    left = frozenset(left)
+    right = frozenset(right)
+    if not variable_disconnects(formula, x, left, right):
+        raise ValueError("X must disconnect U, V")
+    return (not variable_disconnects(formula, x, left | {y}, right)
+            and not variable_disconnects(formula, x, left, right | {y}))
+
+
+def migrating_variables(formula: CNF, x, left: Iterable,
+                        right: Iterable) -> frozenset:
+    """All variables migrating w.r.t. (X, U, V)."""
+    left = frozenset(left)
+    right = frozenset(right)
+    out = set()
+    for var in formula.variables():
+        if var == x or var in left or var in right:
+            continue
+        if is_migrating(formula, x, var, left, right):
+            out.add(var)
+    return frozenset(out)
+
+
+def rank_one_factorization_exists(y00, y01, y10, y11) -> bool:
+    """Theorem B.1 (decision form): det == 0 iff the 2x2 polynomial
+    matrix factors as an outer product (g0, g1) x (h0, h1)."""
+    return (y00 * y11 - y01 * y10).is_zero()

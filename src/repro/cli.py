@@ -1,0 +1,179 @@
+"""Command-line interface: classify, evaluate, and reduce.
+
+Usage (after installation):
+
+    python -m repro classify "(R|S1)(S1|S2)(S2|T)"
+    python -m repro census
+    python -m repro reduce --edges "0-1,1-2" --vars 3
+    python -m repro h0 --left 2 --right 2 --edges "0-0,1-1"
+
+The tiny query syntax covers Type-I bipartite queries: a conjunction of
+parenthesized clauses, each a |-separated list of symbols; "R" and "T"
+denote the unary atoms, anything else a binary symbol.  Type-II clauses
+use ";" between subclauses with an L/R prefix, e.g. "(L: S1 ; S2)" for
+forall x (forall y S1 v forall y S2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+from repro.core.catalog import CENSUS
+from repro.core.clauses import Clause
+from repro.core.final import find_final, is_final
+from repro.core.queries import Query
+from repro.core.safety import is_safe, query_length, query_type
+from repro.counting.p2cnf import P2CNF
+from repro.counting.pp2cnf import PP2CNF
+
+CLAUSE_RE = re.compile(r"\(([^()]*)\)")
+
+
+def parse_query(text: str) -> Query:
+    """Parse the miniature clause syntax described in the module doc."""
+    clauses = []
+    bodies = CLAUSE_RE.findall(text)
+    if not bodies:
+        raise ValueError(f"no clauses found in {text!r}")
+    for body in bodies:
+        body = body.strip()
+        if body.startswith(("L:", "R:")):
+            side = "left" if body[0] == "L" else "right"
+            subs = [
+                [s.strip() for s in part.split("|") if s.strip()]
+                for part in body[2:].split(";")]
+            clauses.append(Clause(side, (), subs))
+            continue
+        atoms = [a.strip() for a in body.split("|") if a.strip()]
+        unaries = {a for a in atoms if a in ("R", "T")}
+        binaries = [a for a in atoms if a not in ("R", "T")]
+        if unaries == {"R", "T"}:
+            clauses.append(Clause("full", unaries, [binaries]))
+        elif unaries == {"R"}:
+            clauses.append(Clause("left", unaries, [binaries]))
+        elif unaries == {"T"}:
+            clauses.append(Clause("right", unaries, [binaries]))
+        else:
+            clauses.append(Clause.middle(*binaries))
+    return Query(clauses)
+
+
+def parse_edges(text: str) -> list[tuple[int, int]]:
+    edges = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        a, b = part.split("-")
+        edges.append((int(a), int(b)))
+    return edges
+
+
+def cmd_classify(args) -> int:
+    query = parse_query(args.query)
+    print("query:  ", query)
+    print("safe:   ", is_safe(query))
+    qtype = query_type(query)
+    print("type:   ", "-".join(qtype) if qtype else "H0-like/none")
+    print("length: ", query_length(query))
+    if not is_safe(query) and not query.full_clauses:
+        print("final:  ", is_final(query))
+        if not is_final(query):
+            final, trace = find_final(query)
+            print("final form after", len(trace), "rewrites:", final)
+    return 0
+
+
+def cmd_census(_args) -> int:
+    print(f"{'query':24s} {'verdict':8s} {'type':8s} {'length':>6s}")
+    for name, ctor, _ in CENSUS:
+        q = ctor()
+        qtype = query_type(q)
+        print(f"{name:24s} "
+              f"{'safe' if is_safe(q) else 'unsafe':8s} "
+              f"{'-'.join(qtype) if qtype else 'H0':8s} "
+              f"{str(query_length(q)):>6s}")
+    return 0
+
+
+def cmd_reduce(args) -> int:
+    from repro.core.catalog import path_query
+    from repro.reduction.type1 import Type1Reduction
+
+    phi = P2CNF(args.vars, tuple(parse_edges(args.edges)))
+    query = path_query(args.length)
+    reduction = Type1Reduction(query)
+    result = reduction.run(phi)
+    print(f"query: {query}")
+    print(f"phi: n={phi.n}, m={phi.m}, edges={phi.edges}")
+    print(f"oracle calls: {result.oracle_calls}")
+    for signature, count in sorted(result.signature_counts.items()):
+        print(f"   #{signature} = {count}")
+    print(f"#Phi = {result.model_count}")
+    if args.check:
+        brute = phi.count_satisfying()
+        print(f"brute force: {brute} "
+              f"({'match' if brute == result.model_count else 'MISMATCH'})")
+    return 0
+
+
+def cmd_h0(args) -> int:
+    from repro.reduction.h0 import count_pp2cnf_via_h0
+
+    phi = PP2CNF(args.left, args.right, tuple(parse_edges(args.edges)))
+    count = count_pp2cnf_via_h0(phi)
+    print(f"#PP2CNF = {count}")
+    if args.check:
+        print(f"brute force: {phi.count_satisfying()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dichotomy tools for generalized model counting "
+                    "(Kenig & Suciu, PODS 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser(
+        "classify", help="safety/type/length/finality of a query")
+    p_classify.add_argument("query")
+    p_classify.set_defaults(fn=cmd_classify)
+
+    p_census = sub.add_parser("census", help="classify the catalog")
+    p_census.set_defaults(fn=cmd_census)
+
+    p_reduce = sub.add_parser(
+        "reduce", help="#P2CNF via the Type-I reduction")
+    p_reduce.add_argument("--edges", required=True,
+                          help='e.g. "0-1,1-2"')
+    p_reduce.add_argument("--vars", type=int, required=True)
+    p_reduce.add_argument("--length", type=int, default=1,
+                          help="path-query length (default 1: RST)")
+    p_reduce.add_argument("--check", action="store_true")
+    p_reduce.set_defaults(fn=cmd_reduce)
+
+    p_h0 = sub.add_parser("h0", help="#PP2CNF via one GFOMC(H0) call")
+    p_h0.add_argument("--left", type=int, required=True)
+    p_h0.add_argument("--right", type=int, required=True)
+    p_h0.add_argument("--edges", required=True)
+    p_h0.add_argument("--check", action="store_true")
+    p_h0.set_defaults(fn=cmd_h0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `... | head`): exit
+        # quietly like a well-behaved unix tool.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Bipartite forall-CNF queries (duals of UCQs) and their static analysis.
+
+Implements Definition 2.3 (left / middle / right clauses of Types I and
+II), query minimization via clause homomorphisms, the rewritings
+Q[S := 0] / Q[S := 1] of Lemma 2.7, the safety criterion of Definition
+2.4, and final queries (Definition 2.8).
+"""
+
+from repro.core.clauses import Clause
+from repro.core.queries import Query
+from repro.core.safety import is_safe, is_unsafe, query_length, query_type
+from repro.core.final import is_final, find_final
+
+__all__ = [
+    "Clause",
+    "Query",
+    "is_safe",
+    "is_unsafe",
+    "query_length",
+    "query_type",
+    "is_final",
+    "find_final",
+]

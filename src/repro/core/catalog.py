@@ -1,0 +1,178 @@
+"""A catalog of named queries from the paper and standard families.
+
+These are the concrete workloads for tests, examples, and benchmarks:
+the paper's running examples (H0, Example C.9, the forbidden query of
+Example C.15, the dead-end motivation A.3, Example C.18) plus
+parameterized families (path queries of any length, wide final queries).
+"""
+
+from __future__ import annotations
+
+from repro.core.clauses import Clause
+from repro.core.queries import Query
+
+
+def h0() -> Query:
+    """H0 = forall x forall y (R(x) v S(x,y) v T(y)) (Section 2)."""
+    return Query([Clause.full("S")])
+
+
+def path_query(k: int, fanout: int = 1) -> Query:
+    """The final Type-I path query of length k:
+
+        (R v S_1) & (S_1 v S_2) & ... & (S_{k-1} v S_k) & (S_k v T)
+
+    With ``fanout > 1`` each S_i is replaced by a group of ``fanout``
+    symbols S_i_1..S_i_f appearing together; the query stays unsafe (but
+    is no longer final) and the per-link lineage grows — used to stress
+    the engines.
+    """
+    if k < 1:
+        raise ValueError("path query needs length >= 1")
+
+    def group(i: int) -> list[str]:
+        if fanout == 1:
+            return [f"S{i}"]
+        return [f"S{i}_{j}" for j in range(fanout)]
+
+    clauses = [Clause.left_type1(*group(1))]
+    for i in range(1, k):
+        clauses.append(Clause.middle(*(group(i) + group(i + 1))))
+    clauses.append(Clause.right_type1(*group(k)))
+    return Query(clauses)
+
+
+def rst_query() -> Query:
+    """The length-1 final Type-I query (R v S) & (S v T)."""
+    return path_query(1)
+
+
+def wide_final_query() -> Query:
+    """A final Type-I query whose middle clause has three symbols:
+
+        (R v S1) & (S1 v S2 v S3) & (S3 v T) & (S2 v T)
+    """
+    return Query([
+        Clause.left_type1("S1"),
+        Clause.middle("S1", "S2", "S3"),
+        Clause.right_type1("S3"),
+        Clause.right_type1("S2"),
+    ])
+
+
+def safe_left_only() -> Query:
+    """Safe: no right clause at all (first observation before Def 2.4)."""
+    return Query([
+        Clause.left_type1("S1", "S2"),
+        Clause.middle("S2", "S3"),
+    ])
+
+
+def safe_disconnected() -> Query:
+    """Safe: a left part and a right part over disjoint symbols."""
+    return Query([
+        Clause.left_type1("S1"),
+        Clause.middle("S1", "S2"),
+        Clause.middle("S3", "S4"),
+        Clause.right_type1("S4"),
+    ])
+
+
+def unsafe_type1_type2() -> Query:
+    """An unsafe query of type I-II (left Type I, right Type II)."""
+    return Query([
+        Clause.left_type1("S1"),
+        Clause.middle("S1", "S2"),
+        Clause.right_type2(["S2"], ["S3"]),
+    ])
+
+
+def unsafe_type2_type1() -> Query:
+    """An unsafe query of type II-I (left Type II, right Type I)."""
+    return Query([
+        Clause.left_type2(["S1"], ["S2"]),
+        Clause.middle("S1", "S3"),
+        Clause.right_type1("S3"),
+    ])
+
+
+def example_c9() -> Query:
+    """Example C.9: forall x (Ay.S1 v Ay.S2) & (S1 v S3) &
+    forall y (Ax.S3 v Ax.S4) — an unsafe Type II-II query (not
+    forbidden: its Q_alpha_beta queries disconnect)."""
+    return Query([
+        Clause.left_type2(["S1"], ["S2"]),
+        Clause.middle("S1", "S3"),
+        Clause.right_type2(["S3"], ["S4"]),
+    ])
+
+
+def example_c15() -> Query:
+    """Example C.15: a forbidden Type II-II query with left-ubiquitous U
+    and right-ubiquitous V:
+
+      forall x (Ay.(U v S1) v Ay.(U v S2))
+      & forall x forall y (S1 v S2 v S3 v S4)
+      & forall y (Ax.(V v S3) v Ax.(V v S4))
+    """
+    return Query([
+        Clause.left_type2(["U", "S1"], ["U", "S2"]),
+        Clause.middle("S1", "S2", "S3", "S4"),
+        Clause.right_type2(["V", "S3"], ["V", "S4"]),
+    ])
+
+
+def example_c18() -> Query:
+    """Example C.18: two left-ubiquitous symbols U, U' occurring in
+    middle clauses; no single rewriting keeps it unsafe."""
+    return Query([
+        Clause.left_type2(["U", "U2", "S1", "S2"],
+                          ["U", "U2", "S2", "S3"],
+                          ["U", "U2", "S1", "S3"]),
+        Clause.middle("S1", "S2", "S3", "S4", "S5"),
+        Clause.right_type2(["V", "S4"], ["V", "S5"]),
+        Clause.middle("U", "S1", "S2", "S3"),
+        Clause.middle("U2", "S1", "S2", "S3"),
+    ])
+
+
+def example_a3() -> Query:
+    """Example A.3 (motivates the zig-zag dead-end branches): a Type I-II
+    query with a ubiquitous right symbol U."""
+    return Query([
+        Clause.left_type1("S0"),
+        Clause.middle("S0", "S1"),
+        Clause.middle("S1", "S2", "S3"),
+        Clause.right_type2(["U", "S1", "S2"],
+                           ["U", "S1", "S3"],
+                           ["U", "S2", "S3"]),
+    ])
+
+
+def intro_example() -> Query:
+    """Section 1.4's example: (R v S v T' v A) & B, here in bipartite
+    form (R v S1 v S2) & (S2 v T): unsafe but not final."""
+    return Query([
+        Clause.left_type1("S1", "S2"),
+        Clause.right_type1("S2"),
+    ])
+
+
+#: (name, constructor, expected-unsafe) triples for census-style sweeps.
+CENSUS = (
+    ("H0", h0, True),
+    ("path-1 (RST)", rst_query, True),
+    ("path-2", lambda: path_query(2), True),
+    ("path-3", lambda: path_query(3), True),
+    ("path-2 fanout-2", lambda: path_query(2, fanout=2), True),
+    ("wide final", wide_final_query, True),
+    ("intro example", intro_example, True),
+    ("type I-II", unsafe_type1_type2, True),
+    ("type II-I", unsafe_type2_type1, True),
+    ("Example C.9", example_c9, True),
+    ("Example C.15", example_c15, True),
+    ("Example C.18", example_c18, True),
+    ("Example A.3", example_a3, True),
+    ("safe left-only", safe_left_only, False),
+    ("safe disconnected", safe_disconnected, False),
+)

@@ -1,0 +1,200 @@
+"""Clauses of bipartite forall-CNF queries (Definition 2.3).
+
+A clause is stored in a unified form covering every case the paper uses:
+
+* ``side == "left"``: forall x ( R(x)? v OR_l forall y S_{J_l}(x, y) ).
+  With a unary R and exactly one subclause this is a *left clause of
+  Type I* (note forall y (R(x) v S_J(x,y)) == R(x) v forall y S_J(x,y));
+  with no unary and more than one subclause it is *Type II*.
+* ``side == "right"``: the mirror image with T(y) and forall x.
+* ``side == "middle"``: forall x forall y S_J(x, y); single subclause,
+  no unary.
+* ``side == "full"``: forall x forall y (R(x) v T(y) v S_J(x, y)); this
+  is the shape of H0, which falls outside Definition 2.3's bipartite
+  classes and is treated separately by the paper.
+
+Each subclause J is a non-empty frozenset of binary symbol names.
+Clauses are immutable, hashable, and *minimized on construction*: a
+subclause J_k with J_k a subset of another subclause J_i is absorbed
+(forall y S_{J_k} implies forall y S_{J_i}, and A v B == B when A
+implies B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.symbols import LEFT_UNARY, RIGHT_UNARY
+
+SIDES = ("left", "middle", "right", "full")
+
+
+def _minimize_subclauses(
+        subclauses: Iterable[frozenset[str]]) -> tuple[frozenset[str], ...]:
+    """Keep only inclusion-maximal subclauses (disjunct absorption)."""
+    unique = {frozenset(j) for j in subclauses}
+    kept = [j for j in unique
+            if not any(j < other for other in unique)]
+    return tuple(sorted(kept, key=lambda j: (len(j), sorted(j))))
+
+
+class Clause:
+    """An immutable, minimized clause of a bipartite forall-CNF query."""
+
+    __slots__ = ("side", "unaries", "subclauses", "_hash")
+
+    def __init__(self, side: str, unaries: Iterable[str] = (),
+                 subclauses: Iterable[Iterable[str]] = ()):
+        unaries = frozenset(unaries)
+        subs = _minimize_subclauses(frozenset(j) for j in subclauses)
+        if side not in SIDES:
+            raise ValueError(f"unknown side: {side}")
+        if any(not j for j in subs):
+            raise ValueError("empty subclause (use rewriting helpers)")
+        if not unaries and not subs:
+            raise ValueError("empty clause (identically false)")
+        if not unaries <= {LEFT_UNARY, RIGHT_UNARY}:
+            raise ValueError(f"bad unary symbols: {unaries}")
+        # Canonicalize the side from the structure where it is forced.
+        if unaries == {LEFT_UNARY, RIGHT_UNARY}:
+            side = "full"
+        elif LEFT_UNARY in unaries:
+            side = "left"
+        elif RIGHT_UNARY in unaries:
+            side = "right"
+        elif len(subs) == 1:
+            # forall x forall y S_J regardless of claimed orientation.
+            side = "middle"
+        elif side in ("middle", "full"):
+            raise ValueError(
+                "type II clauses (multiple subclauses, no unary) must "
+                "declare side 'left' or 'right'")
+        if side == "full" and len(subs) > 1:
+            raise ValueError("'full' clauses carry a single subclause")
+        self.side = side
+        self.unaries = unaries
+        self.subclauses = subs
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def left_type1(*symbols: str) -> "Clause":
+        """forall x forall y (R(x) v S_{J}(x,y)) with J = symbols."""
+        return Clause("left", {LEFT_UNARY}, [frozenset(symbols)])
+
+    @staticmethod
+    def left_type2(*subclauses: Iterable[str]) -> "Clause":
+        """forall x (forall y S_{J_1} v ... v forall y S_{J_m})."""
+        return Clause("left", (), [frozenset(j) for j in subclauses])
+
+    @staticmethod
+    def middle(*symbols: str) -> "Clause":
+        """forall x forall y S_J(x,y)."""
+        return Clause("middle", (), [frozenset(symbols)])
+
+    @staticmethod
+    def right_type1(*symbols: str) -> "Clause":
+        """forall y forall x (S_J(x,y) v T(y))."""
+        return Clause("right", {RIGHT_UNARY}, [frozenset(symbols)])
+
+    @staticmethod
+    def right_type2(*subclauses: Iterable[str]) -> "Clause":
+        """forall y (forall x S_{J_1} v ... v forall x S_{J_n})."""
+        return Clause("right", (), [frozenset(j) for j in subclauses])
+
+    @staticmethod
+    def full(*symbols: str) -> "Clause":
+        """forall x forall y (R(x) v T(y) v S_J(x,y)); the shape of H0."""
+        return Clause("full", {LEFT_UNARY, RIGHT_UNARY},
+                      [frozenset(symbols)])
+
+    @staticmethod
+    def unary_only(symbol: str) -> "Clause":
+        """forall x R(x) (or forall y T(y)); arises from rewritings."""
+        if symbol == LEFT_UNARY:
+            return Clause("left", {LEFT_UNARY}, [])
+        if symbol == RIGHT_UNARY:
+            return Clause("right", {RIGHT_UNARY}, [])
+        raise ValueError(f"not a unary symbol: {symbol}")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def binary_symbols(self) -> frozenset[str]:
+        return frozenset(s for j in self.subclauses for s in j)
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return self.unaries | self.binary_symbols
+
+    @property
+    def is_type2(self) -> bool:
+        """A Type II (multi-subclause, no unary) left or right clause."""
+        return not self.unaries and len(self.subclauses) > 1
+
+    def sort_key(self):
+        return (self.side, sorted(self.unaries),
+                [(len(j), sorted(j)) for j in self.subclauses])
+
+    # ------------------------------------------------------------------
+    # Rewriting a symbol to false / true (Lemma 2.7 building block)
+    # ------------------------------------------------------------------
+    def set_symbol(self, symbol: str, value: bool) -> "Clause | None | bool":
+        """The clause after substituting ``symbol := value``.
+
+        Returns ``True`` when the clause becomes valid (drop it),
+        ``False`` when it becomes unsatisfiable (the query is false),
+        or the rewritten :class:`Clause`.
+        """
+        if symbol not in self.symbols:
+            return self
+        if symbol in self.unaries:
+            if value:
+                return True
+            unaries = self.unaries - {symbol}
+            if not unaries and not self.subclauses:
+                return False
+            return Clause(self.side, unaries, self.subclauses)
+        if value:
+            # Any subclause containing the symbol becomes forall y TRUE,
+            # making the whole clause valid.
+            if any(symbol in j for j in self.subclauses):
+                return True
+            return self
+        # symbol := false — remove it from every subclause; empty
+        # subclauses are dropped (forall y FALSE == FALSE).
+        new_subs = [j - {symbol} for j in self.subclauses]
+        new_subs = [j for j in new_subs if j]
+        if not new_subs and not self.unaries:
+            return False
+        return Clause(self.side, self.unaries, new_subs)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return (self.side == other.side and self.unaries == other.unaries
+                and self.subclauses == other.subclauses)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.side, self.unaries, self.subclauses))
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        if LEFT_UNARY in self.unaries:
+            parts.append("R(x)")
+        for j in self.subclauses:
+            atom = "|".join(sorted(j))
+            if self.is_type2 or (not self.unaries and len(self.subclauses) > 1):
+                var = "Ay." if self.side == "left" else "Ax."
+                parts.append(f"{var}({atom})")
+            else:
+                parts.append(f"({atom})")
+        if RIGHT_UNARY in self.unaries:
+            parts.append("T(y)")
+        return f"<{self.side}: " + " v ".join(parts) + ">"

@@ -1,0 +1,55 @@
+"""Final queries (Definition 2.8) and the simplification search.
+
+A *final* query is a bipartite, unsafe query Q such that for every
+symbol S of Q both rewritings Q[S := 0] and Q[S := 1] are safe.  The
+hardness proof first drives any unsafe query down to a final one by
+repeatedly applying a rewriting that preserves unsafety (possible by
+Lemma 2.7 whenever the query is not yet final); our ``find_final``
+implements exactly that search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.queries import Query
+from repro.core.safety import is_safe, is_unsafe
+
+
+def simplifications(query: Query) -> Iterator[tuple[str, bool, Query]]:
+    """All one-step rewritings (symbol, value, Q[symbol := value])."""
+    for symbol in sorted(query.symbols):
+        for value in (False, True):
+            yield symbol, value, query.set_symbol(symbol, value)
+
+
+def is_final(query: Query) -> bool:
+    """Definition 2.8: unsafe, and every one-step rewriting is safe."""
+    if not is_unsafe(query):
+        return False
+    return all(is_safe(rewritten)
+               for _, _, rewritten in simplifications(query))
+
+
+def find_final(query: Query) -> tuple[Query, list[tuple[str, bool]]]:
+    """Simplify an unsafe query to a final query.
+
+    Returns the final query together with the rewriting trace
+    [(symbol, value), ...].  Each rewriting removes the symbol entirely,
+    so the search terminates.  Raises ``ValueError`` on safe input.
+    """
+    if not is_unsafe(query):
+        raise ValueError("find_final expects an unsafe query")
+    trace: list[tuple[str, bool]] = []
+    current = query
+    progress = True
+    while progress:
+        progress = False
+        for symbol, value, rewritten in simplifications(current):
+            if is_unsafe(rewritten):
+                current = rewritten
+                trace.append((symbol, value))
+                progress = True
+                break
+    assert is_final(current)
+    return current, trace

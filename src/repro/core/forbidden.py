@@ -1,0 +1,109 @@
+"""Forbidden queries of Type II (Definition C.11) and ubiquitous
+symbols.
+
+A binary symbol is *C-ubiquitous* for a Type-II clause C when it occurs
+in every subclause of C; *left-ubiquitous* when C-ubiquitous for every
+left clause (mirror for right).  A final Type-II query is *forbidden*
+when, along every minimal left-right path C_0, ..., C_k, every symbol of
+C_0 is left-ubiquitous or occurs in C_1, and every symbol of C_k is
+right-ubiquitous or occurs in C_{k-1}.
+
+Forbidden queries are the fragment for which Appendix C proves the
+connectivity of every Y_alpha_beta (Lemma C.23); Example C.9 is final
+but not forbidden, Example C.15 is forbidden.  Lemma C.12's structural
+consequences are machine-checked in the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.final import is_final
+from repro.core.queries import Query
+from repro.core.safety import clause_graph, query_length
+
+
+def clause_ubiquitous(clause) -> frozenset[str]:
+    """Symbols occurring in every subclause of the clause."""
+    if not clause.subclauses:
+        return frozenset()
+    common = set(clause.subclauses[0])
+    for j in clause.subclauses[1:]:
+        common &= j
+    return frozenset(common)
+
+
+def left_ubiquitous(query: Query) -> frozenset[str]:
+    """Symbols C-ubiquitous for every left clause (Appendix C.3)."""
+    lefts = query.left_clauses
+    if not lefts:
+        return frozenset()
+    common = clause_ubiquitous(lefts[0])
+    for clause in lefts[1:]:
+        common &= clause_ubiquitous(clause)
+    return frozenset(common)
+
+
+def right_ubiquitous(query: Query) -> frozenset[str]:
+    rights = query.right_clauses
+    if not rights:
+        return frozenset()
+    common = clause_ubiquitous(rights[0])
+    for clause in rights[1:]:
+        common &= clause_ubiquitous(clause)
+    return frozenset(common)
+
+
+def minimal_left_right_paths(query: Query) -> list[tuple]:
+    """All minimal-length left-to-right clause paths (as clause
+    tuples)."""
+    length = query_length(query)
+    if length is None:
+        return []
+    clauses = query.clauses
+    adjacency = clause_graph(query)
+
+    def is_left(c):
+        return c.side in ("left", "full") and (
+            c.side == "full" or c.unaries or len(c.subclauses) > 1)
+
+    def is_right(c):
+        return c.side in ("right", "full") and (
+            c.side == "full" or c.unaries or len(c.subclauses) > 1)
+
+    paths = []
+    starts = [i for i, c in enumerate(clauses) if is_left(c)]
+    queue = deque([(i, (i,)) for i in starts])
+    while queue:
+        node, path = queue.popleft()
+        if len(path) - 1 > length:
+            continue
+        if is_right(clauses[node]) and len(path) - 1 == length:
+            paths.append(tuple(clauses[i] for i in path))
+            continue
+        for nxt in adjacency[node]:
+            if nxt not in path:
+                queue.append((nxt, path + (nxt,)))
+    return paths
+
+
+def is_forbidden(query: Query) -> bool:
+    """Definition C.11 (for Type-II queries): final, and along every
+    minimal left-right path the end clauses' symbols are ubiquitous or
+    shared with their path neighbour."""
+    if not is_final(query):
+        return False
+    lu = left_ubiquitous(query)
+    ru = right_ubiquitous(query)
+    for path in minimal_left_right_paths(query):
+        if len(path) < 2:
+            return False  # length-0 paths fall outside Definition C.11
+        first, second = path[0], path[1]
+        for symbol in first.binary_symbols:
+            if symbol not in lu and symbol not in second.symbols:
+                return False
+        last, before_last = path[-1], path[-2]
+        for symbol in last.binary_symbols:
+            if symbol not in ru and symbol not in before_last.symbols:
+                return False
+    return True

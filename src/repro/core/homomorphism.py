@@ -1,0 +1,134 @@
+"""Clause homomorphisms and redundancy (Section 2).
+
+A homomorphism C -> C' maps the logical variables of C to same-sort
+variables of C' such that every atom of C becomes an atom of C'.  If a
+homomorphism C_i -> C_j exists between distinct clauses of a query then
+C_j is redundant and is removed (the paper assumes all queries are
+minimized and non-redundant).
+
+Clauses are expanded to their prenex atom form: a left clause
+forall x (R(x)? v OR_l forall y S_{J_l}(x,y)) becomes atoms over the
+variables {x, y0, y1, ...} (one y per subclause); right clauses mirror
+this; middle and full clauses use {x, y}.  The homomorphism search is a
+small backtracking over variable images (sorts must match).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.clauses import Clause
+from repro.core.symbols import LEFT_UNARY, RIGHT_UNARY
+
+Atom = tuple  # ("R", var) | ("T", var) | (symbol, left_var, right_var)
+
+
+def clause_atoms(clause: Clause) -> tuple[frozenset[Atom],
+                                          tuple[str, ...], tuple[str, ...]]:
+    """The prenex atom set of a clause plus its (left, right) variables.
+
+    Left-sort variables are named ``x*``, right-sort variables ``y*``.
+    """
+    atoms: set[Atom] = set()
+    if clause.side in ("middle", "full"):
+        left_vars, right_vars = ("x0",), ("y0",)
+        if LEFT_UNARY in clause.unaries:
+            atoms.add((LEFT_UNARY, "x0"))
+        if RIGHT_UNARY in clause.unaries:
+            atoms.add((RIGHT_UNARY, "y0"))
+        for j in clause.subclauses:
+            for symbol in j:
+                atoms.add((symbol, "x0", "y0"))
+    elif clause.side == "left":
+        left_vars = ("x0",)
+        right_vars = tuple(f"y{i}" for i in range(len(clause.subclauses)))
+        if LEFT_UNARY in clause.unaries:
+            atoms.add((LEFT_UNARY, "x0"))
+        for i, j in enumerate(clause.subclauses):
+            for symbol in j:
+                atoms.add((symbol, "x0", f"y{i}"))
+    elif clause.side == "right":
+        right_vars = ("y0",)
+        left_vars = tuple(f"x{i}" for i in range(len(clause.subclauses)))
+        if RIGHT_UNARY in clause.unaries:
+            atoms.add((RIGHT_UNARY, "y0"))
+        for i, j in enumerate(clause.subclauses):
+            for symbol in j:
+                atoms.add((symbol, f"x{i}", "y0"))
+    else:  # pragma: no cover
+        raise AssertionError(clause.side)
+    return frozenset(atoms), left_vars, right_vars
+
+
+@lru_cache(maxsize=100_000)
+def homomorphism_exists(source: Clause, target: Clause) -> bool:
+    """Is there a homomorphism ``source -> target``?
+
+    When one exists and both clauses appear in a query, ``target`` is
+    redundant (source implies target, and the query is a conjunction).
+    """
+    src_atoms, src_left, src_right = clause_atoms(source)
+    tgt_atoms, tgt_left, tgt_right = clause_atoms(target)
+    tgt_atom_set = set(tgt_atoms)
+
+    variables = list(src_left) + list(src_right)
+    candidates = {v: (tgt_left if v.startswith("x") else tgt_right)
+                  for v in variables}
+    # Atoms grouped by the variables they constrain, checked incrementally.
+    src_atom_list = sorted(src_atoms)
+
+    def atom_mapped(atom: Atom, mapping: dict[str, str]) -> bool | None:
+        """True/False when decidable under partial mapping, None otherwise."""
+        mapped = []
+        for part in atom[1:]:
+            if part not in mapping:
+                return None
+            mapped.append(mapping[part])
+        return (atom[0], *mapped) in tgt_atom_set
+
+    def backtrack(index: int, mapping: dict[str, str]) -> bool:
+        if index == len(variables):
+            return all(atom_mapped(a, mapping) for a in src_atom_list)
+        var = variables[index]
+        for image in candidates[var]:
+            mapping[var] = image
+            ok = True
+            for atom in src_atom_list:
+                verdict = atom_mapped(atom, mapping)
+                if verdict is False:
+                    ok = False
+                    break
+            if ok and backtrack(index + 1, mapping):
+                return True
+            del mapping[var]
+        return False
+
+    return backtrack(0, {})
+
+
+def clauses_equivalent(c1: Clause, c2: Clause) -> bool:
+    """Logical equivalence via mutual homomorphisms."""
+    if c1 == c2:
+        return True
+    return homomorphism_exists(c1, c2) and homomorphism_exists(c2, c1)
+
+
+def minimize_clause_set(clauses) -> tuple[Clause, ...]:
+    """Remove redundant clauses: drop C_j when some other kept clause
+    maps homomorphically into it.  Equivalent clauses keep one
+    representative (the canonically smallest)."""
+    ordered = sorted(set(clauses), key=lambda c: c.sort_key())
+    # Collapse equivalence classes first.
+    representatives: list[Clause] = []
+    for clause in ordered:
+        if not any(clauses_equivalent(clause, kept)
+                   for kept in representatives):
+            representatives.append(clause)
+    kept = []
+    for clause in representatives:
+        redundant = any(
+            other is not clause and homomorphism_exists(other, clause)
+            for other in representatives)
+        if not redundant:
+            kept.append(clause)
+    return tuple(kept)

@@ -1,0 +1,134 @@
+"""The safety criterion for bipartite queries (Definition 2.4).
+
+A bipartite query is *unsafe* iff some left clause C_0 and some right
+clause C_k are connected by a path of clauses in which consecutive
+clauses share a relational symbol.  The *length* of an unsafe query is
+the minimal such k.  Safe queries factor into independent pieces and are
+evaluable in polynomial time (``repro.tid.lifted``); unsafe queries are
+the subject of the hardness theorems.
+
+The clause H0 = forall x forall y (R(x) v S(x,y) v T(y)) carries both
+unary symbols ("full" side); it is simultaneously a left and a right
+clause, giving length 0.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.queries import Query
+
+
+def _is_leftish(clause) -> bool:
+    """Counts as a left clause for Definition 2.4.
+
+    A full clause (H0-like) with binary atoms is simultaneously left and
+    right.  A degenerate full clause R(x) v T(y) with no binary atoms is
+    forall x R(x) v forall y T(y): an independent disjunction, evaluable
+    in PTIME, hence *not* a path endpoint.
+    """
+    if clause.side == "full":
+        return bool(clause.binary_symbols)
+    return clause.side == "left" and (bool(clause.unaries)
+                                      or len(clause.subclauses) > 1)
+
+
+def _is_rightish(clause) -> bool:
+    if clause.side == "full":
+        return bool(clause.binary_symbols)
+    return clause.side == "right" and (bool(clause.unaries)
+                                       or len(clause.subclauses) > 1)
+
+
+def clause_graph(query: Query) -> dict[int, set[int]]:
+    """Adjacency between clause indices: edges join clauses sharing a
+    relational symbol."""
+    clauses = query.clauses
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(clauses))}
+    for i in range(len(clauses)):
+        for j in range(i + 1, len(clauses)):
+            if clauses[i].symbols & clauses[j].symbols:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return adjacency
+
+
+def query_length(query: Query) -> int | None:
+    """The minimal k admitting a left-to-right path C_0, ..., C_k
+    (Definition 2.4); None when the query is safe."""
+    if query.is_constant():
+        return None
+    clauses = query.clauses
+    adjacency = clause_graph(query)
+    starts = [i for i, c in enumerate(clauses) if _is_leftish(c)]
+    dist = {i: 0 for i in starts}
+    queue = deque(starts)
+    best: int | None = None
+    while queue:
+        i = queue.popleft()
+        if _is_rightish(clauses[i]):
+            best = dist[i] if best is None else min(best, dist[i])
+            # BFS: the first right clause found is at minimal distance,
+            # but keep scanning the same level for robustness.
+        for j in adjacency[i]:
+            if j not in dist:
+                dist[j] = dist[i] + 1
+                queue.append(j)
+    return best
+
+
+def is_unsafe(query: Query) -> bool:
+    """Definition 2.4: some left and right clause are connected."""
+    return query_length(query) is not None
+
+
+def is_safe(query: Query) -> bool:
+    return not is_unsafe(query)
+
+
+def query_type(query: Query) -> tuple[str, str] | None:
+    """The type A-B of a bipartite query (Definition 2.3):
+    'I' when the relevant side uses the unary symbol, 'II' when it uses
+    multi-subclause clauses.  None for constant queries or queries
+    containing a full clause (H0-like, outside the classification).
+    """
+    if query.is_constant() or query.full_clauses:
+        return None
+    left = "I"
+    for clause in query.left_clauses:
+        if clause.is_type2:
+            left = "II"
+    right = "I"
+    for clause in query.right_clauses:
+        if clause.is_type2:
+            right = "II"
+    return (left, right)
+
+
+def connected_components(query: Query) -> list[Query]:
+    """Split Q into symbol-disjoint conjuncts (Q is *disconnected* when
+    more than one component exists)."""
+    if query.is_constant():
+        return [query]
+    adjacency = clause_graph(query)
+    seen: set[int] = set()
+    out: list[Query] = []
+    for start in range(len(query.clauses)):
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        group = []
+        while queue:
+            i = queue.popleft()
+            group.append(query.clauses[i])
+            for j in adjacency[i]:
+                if j not in seen:
+                    seen.add(j)
+                    queue.append(j)
+        out.append(Query(group))
+    return out
+
+
+def is_connected(query: Query) -> bool:
+    return len(connected_components(query)) <= 1

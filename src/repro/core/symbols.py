@@ -1,0 +1,43 @@
+"""The restricted vocabulary of bipartite queries (Section 2).
+
+A bipartite query uses two unary symbols R(x), T(y) and binary symbols
+S_j(x, y).  The first position of every binary symbol ranges over the
+left domain U, the second over the right domain V.  Unary symbol names
+are fixed to ``"R"`` and ``"T"``; binary symbols may use any other name
+(the zig-zag construction introduces names like ``"S1^(2)"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LEFT_UNARY = "R"
+RIGHT_UNARY = "T"
+UNARY_SYMBOLS = frozenset({LEFT_UNARY, RIGHT_UNARY})
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """The relational symbols a query may mention."""
+
+    has_left_unary: bool
+    has_right_unary: bool
+    binary: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(set(self.binary)) != len(self.binary):
+            raise ValueError("duplicate binary symbol")
+        if UNARY_SYMBOLS & set(self.binary):
+            raise ValueError("'R' and 'T' are reserved for unary symbols")
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        out = set(self.binary)
+        if self.has_left_unary:
+            out.add(LEFT_UNARY)
+        if self.has_right_unary:
+            out.add(RIGHT_UNARY)
+        return frozenset(out)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.symbols

@@ -1,0 +1,29 @@
+"""Counting problems: PQE, FOMC, GFOMC, #P2CNF, #PP2CNF, and the
+coloring count problem CCP(m, n) of Appendix C."""
+
+from repro.counting.problems import (
+    pqe,
+    gfomc,
+    fomc,
+    generalized_model_count,
+    model_count,
+    GFOMC_VALUES,
+    FOMC_VALUES,
+)
+from repro.counting.p2cnf import P2CNF
+from repro.counting.pp2cnf import PP2CNF
+from repro.counting.ccp import coloring_counts, pp2cnf_count_from_ccp
+
+__all__ = [
+    "pqe",
+    "gfomc",
+    "fomc",
+    "generalized_model_count",
+    "model_count",
+    "GFOMC_VALUES",
+    "FOMC_VALUES",
+    "P2CNF",
+    "PP2CNF",
+    "coloring_counts",
+    "pp2cnf_count_from_ccp",
+]

@@ -1,0 +1,89 @@
+"""The Coloring Count Problem CCP(m, n) (Definition C.2).
+
+Given a bipartite graph (U, V, E), a coloring assigns each u in U one of
+m colors and each v in V one of n colors.  Its *signature* k records,
+for every color pair (alpha, beta), the number of edges so colored, plus
+per-color node counts (indexed with the sentinel TOP_COLOR, the paper's
+"1^").  CCP asks for the number of colorings realizing every signature.
+
+Theorem C.3: an oracle for CCP(m, n) (any m, n >= 2) solves #PP2CNF —
+restrict to colorings that use only colors {0, 1}, read color 0 as false
+and color 1 as true, and sum the counts of signatures with k_{1,1}...
+(false-false) edges equal to zero.  Both directions are implemented
+here: exact brute-force coloring counts, and the #PP2CNF extraction.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Hashable, Mapping, Sequence
+
+#: Sentinel playing the role of the paper's "1^" index in signatures.
+TOP_COLOR = "TOP"
+
+Signature = frozenset  # of ((alpha, beta), count) pairs
+
+
+def coloring_signature(left_nodes: Sequence[Hashable],
+                       right_nodes: Sequence[Hashable],
+                       edges: Sequence[tuple[Hashable, Hashable]],
+                       sigma: Mapping, tau: Mapping) -> Signature:
+    """k(sigma, tau): edge counts per color pair plus node counts per
+    color (paired with TOP_COLOR), as a hashable frozenset."""
+    counts: dict[tuple, int] = {}
+    for u, v in edges:
+        key = (sigma[u], tau[v])
+        counts[key] = counts.get(key, 0) + 1
+    for u in left_nodes:
+        key = (sigma[u], TOP_COLOR)
+        counts[key] = counts.get(key, 0) + 1
+    for v in right_nodes:
+        key = (TOP_COLOR, tau[v])
+        counts[key] = counts.get(key, 0) + 1
+    return frozenset(counts.items())
+
+
+def coloring_counts(left_nodes: Sequence[Hashable],
+                    right_nodes: Sequence[Hashable],
+                    edges: Sequence[tuple[Hashable, Hashable]],
+                    m: int, n: int) -> dict[Signature, int]:
+    """All coloring counts #k of CCP(m, n), by brute force."""
+    counts: dict[Signature, int] = {}
+    for sigma_bits in iter_product(range(m), repeat=len(left_nodes)):
+        sigma = dict(zip(left_nodes, sigma_bits))
+        for tau_bits in iter_product(range(n), repeat=len(right_nodes)):
+            tau = dict(zip(right_nodes, tau_bits))
+            sig = coloring_signature(left_nodes, right_nodes, edges,
+                                     sigma, tau)
+            counts[sig] = counts.get(sig, 0) + 1
+    return counts
+
+
+def pp2cnf_count_from_ccp(counts: Mapping[Signature, int],
+                          false_color=0, true_color=1) -> int:
+    """Extract #PP2CNF from coloring counts (proof of Theorem C.3).
+
+    A coloring is *valid* when it only uses {false_color, true_color};
+    it encodes a satisfying assignment iff no edge is colored
+    (false, false).
+    """
+    allowed = {false_color, true_color}
+    total = 0
+    for signature, count in counts.items():
+        sig = dict(signature)
+        valid = True
+        for (alpha, beta), edge_count in sig.items():
+            if edge_count == 0:
+                continue
+            if alpha not in allowed | {TOP_COLOR}:
+                valid = False
+                break
+            if beta not in allowed | {TOP_COLOR}:
+                valid = False
+                break
+        if not valid:
+            continue
+        if sig.get((false_color, false_color), 0) != 0:
+            continue
+        total += count
+    return total

@@ -1,0 +1,78 @@
+"""The probabilistic query evaluation problems of Section 2.
+
+* ``PQE(Q)``: arbitrary rational probabilities;
+* ``GFOMC(Q)``: probabilities restricted to {0, 1/2, 1} — equivalent to
+  the *generalized model counting problem* (count subsets of a database
+  that contain all designated deterministic tuples and satisfy Q);
+* ``FOMC(Q)`` for forall-CNF: probabilities restricted to {1/2, 1}
+  (the dual of model counting for UCQs, Section 1.3/2).
+
+The counting <-> probability correspondence: with D1 (certain) tuples at
+probability 1 and the remaining database tuples at 1/2,
+
+    #{W : D1 subseteq W subseteq DB, W |= Q} = 2^{|DB - D1|} * Pr(Q).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.core.queries import Query
+from repro.tid.database import TID, HALF, ONE, ZERO
+from repro.tid.wmc import probability
+
+GFOMC_VALUES = frozenset({ZERO, HALF, ONE})
+FOMC_VALUES = frozenset({HALF, ONE})
+
+
+def pqe(query: Query, tid: TID) -> Fraction:
+    """PQE(Q): Pr(Q) over an arbitrary TID."""
+    return probability(query, tid)
+
+
+def gfomc(query: Query, tid: TID) -> Fraction:
+    """GFOMC(Q): Pr(Q) with probabilities restricted to {0, 1/2, 1}."""
+    if not tid.restrict_check(GFOMC_VALUES):
+        raise ValueError(
+            f"GFOMC requires probabilities in {{0, 1/2, 1}}; "
+            f"found {sorted(tid.probability_values())}")
+    return probability(query, tid)
+
+
+def fomc(query: Query, tid: TID) -> Fraction:
+    """FOMC(Q) for forall-CNF: Pr(Q) with probabilities in {1/2, 1}
+    (Section 2: the model counting problem for duals of UCQs)."""
+    if not tid.restrict_check(FOMC_VALUES):
+        raise ValueError(
+            f"FOMC requires probabilities in {{1/2, 1}}; "
+            f"found {sorted(tid.probability_values())}")
+    return probability(query, tid)
+
+
+def generalized_model_count(query: Query, tid_shape: TID,
+                            database: Iterable, certain: Iterable) -> int:
+    """The generalized model counting problem (Section 1).
+
+    ``database`` lists the tuples of DB; ``certain`` is D1 subseteq DB.
+    Counts subsets W with D1 subseteq W subseteq DB satisfying Q.
+    ``tid_shape`` supplies the bipartite domain.
+    """
+    database = set(database)
+    certain = set(certain)
+    if not certain <= database:
+        raise ValueError("certain tuples must belong to the database")
+    probs = {token: ONE for token in certain}
+    probs.update({token: HALF for token in database - certain})
+    tid = TID(tid_shape.left_domain, tid_shape.right_domain,
+              probs, default=ZERO)
+    pr = probability(query, tid)
+    count = pr * Fraction(2) ** len(database - certain)
+    if count.denominator != 1:
+        raise AssertionError("model count must be an integer")
+    return int(count)
+
+
+def model_count(query: Query, tid_shape: TID, database: Iterable) -> int:
+    """Standard model counting: D1 = empty set."""
+    return generalized_model_count(query, tid_shape, database, ())

@@ -1,0 +1,78 @@
+"""A dichotomy-aware query evaluator.
+
+``evaluate`` routes a (query, database) pair to the right engine:
+
+* safe queries (Definition 2.4) go to the polynomial-time lifted
+  evaluator — the PTIME side of Theorem 2.1;
+* unsafe queries fall back to the exact exponential weighted model
+  counter (they are #P-hard, Theorem 2.2, so no general shortcut
+  exists);
+* ``method`` can force a specific engine, or request
+  ``"cross-check"``, which runs every applicable engine and asserts
+  agreement (used throughout the test-suite and benchmarks).
+
+This is the front door a downstream user of the library is expected to
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.queries import Query
+from repro.core.safety import is_safe
+from repro.tid.brute import probability_brute
+from repro.tid.database import TID
+from repro.tid.lifted import lifted_probability
+from repro.tid.wmc import probability
+
+METHODS = ("auto", "lifted", "wmc", "brute", "cross-check")
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Pr(Q) together with provenance of how it was computed."""
+
+    value: Fraction
+    method: str
+    safe: bool
+
+    def __eq__(self, other):
+        if isinstance(other, EvaluationResult):
+            return (self.value, self.method, self.safe) == \
+                (other.value, other.method, other.safe)
+        return self.value == other
+
+
+def evaluate(query: Query, tid: TID, method: str = "auto"
+             ) -> EvaluationResult:
+    """Pr(Q) over the TID, routed per the dichotomy."""
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
+    safe = is_safe(query)
+    if method == "auto":
+        if safe:
+            return EvaluationResult(lifted_probability(query, tid),
+                                    "lifted", True)
+        return EvaluationResult(probability(query, tid), "wmc", False)
+    if method == "lifted":
+        return EvaluationResult(lifted_probability(query, tid),
+                                "lifted", safe)
+    if method == "wmc":
+        return EvaluationResult(probability(query, tid), "wmc", safe)
+    if method == "brute":
+        return EvaluationResult(probability_brute(query, tid),
+                                "brute", safe)
+    # cross-check
+    wmc_value = probability(query, tid)
+    brute_value = probability_brute(query, tid)
+    if wmc_value != brute_value:  # pragma: no cover - engine bug guard
+        raise AssertionError(
+            f"engine disagreement: wmc={wmc_value} brute={brute_value}")
+    if safe:
+        lifted_value = lifted_probability(query, tid)
+        if lifted_value != wmc_value:  # pragma: no cover
+            raise AssertionError(
+                f"lifted={lifted_value} disagrees with wmc={wmc_value}")
+    return EvaluationResult(wmc_value, "cross-check", safe)

@@ -1,0 +1,40 @@
+"""The hardness machinery: block databases, small/big matrices, the
+Type-I Cook reduction (Section 3), the zig-zag rewriting (Appendix A),
+and the Type-II lattice/Moebius apparatus (Appendix C)."""
+
+from repro.reduction.blocks import path_block, parallel_block, reduction_tid
+from repro.reduction.small_matrix import (
+    link_lineage,
+    small_matrix_polynomials,
+    small_matrix_determinant,
+    lemma12_check,
+)
+from repro.reduction.block_matrix import (
+    z_matrix_direct,
+    z_matrix_power,
+    z_value,
+    block_spectral_data,
+)
+from repro.reduction.big_matrix import big_matrix, theorem36_matrix
+from repro.reduction.type1 import Type1Reduction
+from repro.reduction.zigzag import zigzag_query, zigzag_database, zigzag_vocabulary
+
+__all__ = [
+    "path_block",
+    "parallel_block",
+    "reduction_tid",
+    "link_lineage",
+    "small_matrix_polynomials",
+    "small_matrix_determinant",
+    "lemma12_check",
+    "z_matrix_direct",
+    "z_matrix_power",
+    "z_value",
+    "block_spectral_data",
+    "big_matrix",
+    "theorem36_matrix",
+    "Type1Reduction",
+    "zigzag_query",
+    "zigzag_database",
+    "zigzag_vocabulary",
+]

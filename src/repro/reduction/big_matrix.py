@@ -1,0 +1,96 @@
+"""The big matrix M of Theorem 3.6 and the linear system of Section 3.2.
+
+The reduction collects one oracle answer per parameter vector
+p = (p_1, ..., p_h) in {1..m+1}^h; Eq. (10) expresses each answer as a
+linear combination of the unknown signature counts with coefficients
+
+    y_00^{k_00} * y_10^{k_01,10} * y_11^{k_11},      (h = 2)
+
+where k_00 = m - k_01,10 - k_11.  We index columns by the free exponents
+k in {0..m}^h and write the coefficient as
+y_0^m * prod_i (y_i / y_0)^{k_i}, which is well-defined because y_0 > 0;
+columns whose implied k_0 is negative correspond to impossible
+signatures and receive count 0 in the unique solution.
+
+``theorem36_matrix`` builds M directly from spectral data
+(y_i(p) = prod_j (a_i lambda1^{p_j} + b_i lambda2^{p_j}), Eq. 14) so the
+non-singularity theorem can be machine-checked on arbitrary coefficient
+sets satisfying conditions (11)-(13).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Callable, Sequence
+
+from repro.algebra.matrices import Matrix
+
+
+def exponent_vectors(m: int, h: int) -> list[tuple[int, ...]]:
+    """Column index set {0..m}^h, in lexicographic order."""
+    return list(iter_product(range(m + 1), repeat=h))
+
+
+def parameter_vectors(m: int, h: int) -> list[tuple[int, ...]]:
+    """Row index set {1..m+1}^h, in lexicographic order."""
+    return list(iter_product(range(1, m + 2), repeat=h))
+
+
+def big_matrix(m: int, h: int,
+               y: Callable[[int, tuple[int, ...]], Fraction]) -> Matrix:
+    """M[p, k] = y_0(p)^{m - sum(k)} * prod_i y_i(p)^{k_i}.
+
+    ``y(i, p)`` returns y_i evaluated at the parameter vector p, for
+    i = 0..h (i = 0 plays the role of y_00, the reference entry).
+    """
+    rows = []
+    for p in parameter_vectors(m, h):
+        y_values = [Fraction(y(i, p)) for i in range(h + 1)]
+        if y_values[0] == 0:
+            raise ValueError("y_0(p) must be non-zero")
+        row = []
+        for k in exponent_vectors(m, h):
+            coeff = y_values[0] ** (m - sum(k))
+            for i, exponent in enumerate(k):
+                coeff *= y_values[i + 1] ** exponent
+            row.append(coeff)
+        rows.append(row)
+    return Matrix(rows)
+
+
+def theorem36_matrix(m: int, h: int, lambda1: Fraction, lambda2: Fraction,
+                     coeffs: Sequence[tuple[Fraction, Fraction]],
+                     ) -> Matrix:
+    """The matrix of Theorem 3.6 built from y_i(p) = prod_j
+    (a_i lambda1^{p_j} + b_i lambda2^{p_j}) (Eq. 14).
+
+    ``coeffs[i] = (a_i, b_i)`` for i = 0..h; the caller is responsible
+    for conditions (11)-(13) when expecting non-singularity.
+    """
+    if len(coeffs) != h + 1:
+        raise ValueError("need h + 1 coefficient pairs (i = 0..h)")
+
+    def y(i: int, p: tuple[int, ...]) -> Fraction:
+        a, b = coeffs[i]
+        value = Fraction(1)
+        for pj in p:
+            value *= a * lambda1 ** pj + b * lambda2 ** pj
+        return value
+
+    return big_matrix(m, h, y)
+
+
+def conditions_11_13(lambda1, lambda2, coeffs) -> bool:
+    """Check conditions (11)-(13) on eigenvalues and coefficients."""
+    if lambda1 in (0, lambda2, -lambda2) or lambda2 == 0:
+        return False
+    if any(b == 0 for _, b in coeffs):
+        return False
+    for i in range(len(coeffs)):
+        for j in range(i + 1, len(coeffs)):
+            ai, bi = coeffs[i]
+            aj, bj = coeffs[j]
+            if ai * bj == aj * bi:
+                return False
+    return True

@@ -1,0 +1,88 @@
+"""The block matrix A(p) and its spectral form (Section 3.3).
+
+z_ab(p) is the probability of the conditioned link lineage Y^(p)_ab when
+every random tuple has probability 1/2 (Eq. 20).  Lemma 3.19 proves
+
+    A(p) = [[z00(p), z01(p)], [z10(p), z11(p)]] = A(1)^p / 2^{p-1},
+
+which lets the reduction evaluate z_ab(p) by exact matrix powers instead
+of exponential WMC; ``z_matrix_direct`` (WMC) and ``z_matrix_power``
+must agree — that equality is experiment E5.
+
+Theorem 3.14 then gives z_i(p) = a_i lambda1^p + b_i lambda2^p with the
+three conditions (22)-(24), verified exactly in Q(sqrt(disc)) by
+``block_spectral_data`` and the checkers from ``repro.algebra.eigen2x2``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algebra.eigen2x2 import (
+    SpectralDecomposition,
+    check_condition_22,
+    check_condition_23,
+    check_condition_24,
+    spectral_decomposition_2x2,
+)
+from repro.algebra.matrices import Matrix
+from repro.core.queries import Query
+from repro.reduction.blocks import path_block
+from repro.tid.database import r_tuple
+from repro.tid.lineage import lineage
+from repro.tid.wmc import cnf_probability
+
+HALF = Fraction(1, 2)
+
+
+def z_matrix_direct(query: Query, p: int) -> Matrix:
+    """A(p) computed honestly: ground B_p(u, v), condition the endpoint
+    variables, and run exact WMC with all probabilities 1/2."""
+    tid = path_block(query, p)
+    formula = lineage(query, tid)
+    r_u, r_v = r_tuple("u"), r_tuple("v")
+    rows = []
+    for a in (0, 1):
+        row = []
+        for b in (0, 1):
+            conditioned = formula.condition(r_u, bool(a)).condition(
+                r_v, bool(b))
+            row.append(cnf_probability(conditioned, tid.probability))
+        rows.append(row)
+    return Matrix(rows)
+
+
+def z_matrix_power(query: Query, p: int,
+                   base: Matrix | None = None) -> Matrix:
+    """A(p) = A(1)^p / 2^{p-1} (Lemma 3.19)."""
+    if base is None:
+        base = z_matrix_direct(query, 1)
+    return (base ** p).scale(Fraction(1, 2 ** (p - 1)))
+
+
+def z_value(query: Query, p: int, a: int, b: int,
+            base: Matrix | None = None) -> Fraction:
+    """z_ab(p) via the matrix-power fast path."""
+    return z_matrix_power(query, p, base)[a, b]
+
+
+def block_spectral_data(query: Query) -> SpectralDecomposition:
+    """Exact eigen-data of A(1); z_i(p) = (a_i lambda1^p + b_i lambda2^p)
+    up to the 2^{p-1} normalization (Theorem 3.14)."""
+    return spectral_decomposition_2x2(z_matrix_direct(query, 1))
+
+
+def theorem_314_conditions(query: Query) -> dict[str, bool]:
+    """The three conditions of Theorem 3.14 for a final Type-I query.
+
+    Note the coefficients of z_i(p) = a_i lambda1^p + b_i lambda2^p use
+    the *normalized* link matrix A(1)/2 whose powers give z(p)/2^... —
+    conditions (22)-(24) are invariant under that scaling, so we verify
+    them on A(1) directly.
+    """
+    dec = block_spectral_data(query)
+    return {
+        "eq22_eigenvalues": check_condition_22(dec),
+        "eq23_b_nonzero": check_condition_23(dec),
+        "eq24_cross_products": check_condition_24(dec),
+    }

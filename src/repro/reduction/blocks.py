@@ -1,0 +1,99 @@
+"""The Type-I block databases B_p(u, v) (Section 3.3).
+
+``path_block`` builds the zig-zag path TID of Example 3.13:
+
+    u = r_0 - t_1 - r_1 - t_2 - ... - r_{p-1} - t_p - r_p = v
+
+Every constant on the left side carries R with probability 1/2, every
+right constant carries T with probability 1/2, binary tuples on path
+edges have probability 1/2, and everything else is certain (probability
+1) — hence the block is a legal FOMC instance (probabilities in
+{1/2, 1}).
+
+``parallel_block`` composes two such paths between the same endpoints
+(Figure 1): since the internal tuples are disjoint, the conditioned
+lineages multiply, giving y_ab(p1, p2) = y_ab(p1) * y_ab(p2) (Eq. 25).
+
+``reduction_tid`` assembles the disjoint-block database associated with
+the graph of a P2CNF instance (Section 3.1): one parallel block per
+edge, with the 2CNF variables as shared endpoints.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.queries import Query
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+HALF = Fraction(1, 2)
+
+
+def path_block(query: Query, p: int, u: str = "u", v: str = "v",
+               tag: str = "") -> TID:
+    """The block B_p(u, v) for the binary vocabulary of ``query``.
+
+    ``tag`` namespaces the internal constants so multiple blocks can be
+    unioned disjointly; the endpoints u, v are shared verbatim.
+    """
+    if p < 1:
+        raise ValueError("block parameter p must be >= 1")
+    symbols = sorted(query.binary_symbols)
+    internal_left = [f"r{k}{tag}" for k in range(1, p)]
+    right = [f"t{k}{tag}" for k in range(1, p + 1)]
+    left = [u, v] + internal_left
+
+    probs: dict[tuple, Fraction] = {}
+    for w in left:
+        probs[r_tuple(w)] = HALF
+    for t in right:
+        probs[t_tuple(t)] = HALF
+
+    # Path edges: r_{k-1} - t_k and r_k - t_k with r_0 = u, r_p = v.
+    def left_constant(k: int) -> str:
+        if k == 0:
+            return u
+        if k == p:
+            return v
+        return f"r{k}{tag}"
+
+    edges = []
+    for k in range(1, p + 1):
+        edges.append((left_constant(k - 1), f"t{k}{tag}"))
+        edges.append((left_constant(k), f"t{k}{tag}"))
+    for a, b in edges:
+        for symbol in symbols:
+            probs[s_tuple(symbol, a, b)] = HALF
+    return TID(left, right, probs, default=Fraction(1))
+
+
+def parallel_block(query: Query, params: Sequence[int], u: str = "u",
+                   v: str = "v", tag: str = "") -> TID:
+    """B^{p}(u, v): the disjoint parallel composition of path blocks
+    B_{p_1}, ..., B_{p_h} sharing only the endpoints (Figure 1)."""
+    result: TID | None = None
+    for index, p in enumerate(params):
+        block = path_block(query, p, u, v, tag=f"{tag}_par{index}")
+        result = block if result is None else result.union(block)
+    if result is None:
+        raise ValueError("need at least one parameter")
+    return result
+
+
+def reduction_tid(query: Query, nodes: Iterable[str],
+                  edges: Iterable[tuple[str, str]],
+                  params: Sequence[int]) -> TID:
+    """The disjoint-block TID associated with a graph (Section 3.1).
+
+    Nodes become shared left constants with Pr(R) = 1/2; every edge
+    (a, b) carries a parallel block B^{params}(a, b); non-edges are
+    trivial (probability-1) blocks, i.e. simply absent.
+    """
+    nodes = list(nodes)
+    result = TID(nodes, [], {r_tuple(a): HALF for a in nodes},
+                 default=Fraction(1))
+    for a, b in edges:
+        block = parallel_block(query, params, a, b, tag=f"_{a}_{b}")
+        result = result.union(block)
+    return result

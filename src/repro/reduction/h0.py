@@ -1,0 +1,64 @@
+"""Hardness of H0 = forall x forall y (R(x) v S(x,y) v T(y)).
+
+Section 2 notes that GFOMC_bi(H0) is #P-hard with probabilities in
+{0, 1/2, 1} (the proof in [4] only uses those values).  The reduction is
+a one-call Karp-style reduction from #PP2CNF, reconstructed here:
+
+given Phi = AND_{(i,j) in E} (X_i v Y_j), build the bipartite TID with
+
+* Pr(R(u_i))   = 1/2   for every left variable X_i,
+* Pr(T(v_j))   = 1/2   for every right variable Y_j,
+* Pr(S(u,v))   = 0     when (u, v) is an edge of Phi,
+* Pr(S(u,v))   = 1     otherwise.
+
+Grounded at an edge, H0's clause degenerates to R(u) v T(v); at a
+non-edge it is satisfied by the certain S tuple.  Hence the lineage *is*
+Phi (reading R as X and T as Y), and
+
+    #Phi = Pr(H0) * 2^(n_left + n_right).
+
+This was strengthened by Amarilli & Kimelfeld to probabilities {1/2}
+only (model counting); the {0, 1/2, 1} construction below is the one
+this paper's Theorem 2.5 plugs in.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.catalog import h0
+from repro.counting.pp2cnf import PP2CNF
+from repro.counting.problems import gfomc
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+HALF = Fraction(1, 2)
+
+
+def h0_reduction_tid(phi: PP2CNF) -> TID:
+    """The GFOMC database encoding a #PP2CNF instance for H0."""
+    left = [f"u{i}" for i in range(phi.n_left)]
+    right = [f"v{j}" for j in range(phi.n_right)]
+    probs: dict[tuple, Fraction] = {}
+    for u in left:
+        probs[r_tuple(u)] = HALF
+    for v in right:
+        probs[t_tuple(v)] = HALF
+    for i, j in phi.edges:
+        probs[s_tuple("S", f"u{i}", f"v{j}")] = Fraction(0)
+    # Non-edges default to probability 1.
+    return TID(left, right, probs, default=Fraction(1))
+
+
+def count_pp2cnf_via_h0(phi: PP2CNF, oracle=None) -> int:
+    """#Phi from a single GFOMC(H0) oracle call.
+
+    ``oracle`` defaults to the exact engine; any callable
+    ``oracle(query, tid) -> Fraction`` may be substituted.
+    """
+    tid = h0_reduction_tid(phi)
+    query = h0()
+    pr = gfomc(query, tid) if oracle is None else oracle(query, tid)
+    count = pr * Fraction(2) ** (phi.n_left + phi.n_right)
+    if count.denominator != 1:
+        raise AssertionError("non-integral count from the H0 reduction")
+    return int(count)

@@ -1,0 +1,95 @@
+"""The small matrix A(1) and the logic-algebra bridge (Section 1.6, 3.3).
+
+For a bipartite query Q, the lineage on the single-link block B_1(u, v)
+is Y(u,v) = Q(u, t1) & Q(v, t1).  Substituting the endpoint variables
+R(u) := a, R(v) := b gives four Boolean formulas Y_ab, whose
+arithmetizations y_ab form the 2x2 *small matrix* of polynomials.
+
+* Lemma 1.2: det(y) == 0  iff  Y disconnects R(u) from R(v).
+* Lemma 3.15: for unsafe Type-I queries Y is connected, so det != 0.
+* Theorem 3.16 / Corollary 3.18: for *final* Type-I queries,
+  det = c * prod_i u_i (1 - u_i) with c != 0, hence the determinant is
+  non-zero on every interior point — in particular at (1/2, ..., 1/2).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algebra.polynomials import Polynomial
+from repro.booleans.arithmetize import arithmetize
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import disconnects
+from repro.core.queries import Query
+from repro.reduction.blocks import path_block
+from repro.tid.database import r_tuple
+from repro.tid.lineage import lineage
+
+
+def _variable_name(token) -> str:
+    """Deterministic polynomial-variable name for a ground tuple."""
+    return "p_" + "_".join(str(part) for part in token)
+
+
+def link_lineage(query: Query, p: int = 1, u: str = "u",
+                 v: str = "v") -> CNF:
+    """Y^(p)(u, v): the lineage of Q over the block B_p(u, v)."""
+    return lineage(query, path_block(query, p, u, v))
+
+
+def small_matrix_polynomials(query: Query, p: int = 1
+                             ) -> dict[tuple[int, int], Polynomial]:
+    """The polynomials y_ab = arithmetization of Y_ab, ab in {0,1}^2."""
+    formula = link_lineage(query, p)
+    r_u, r_v = r_tuple("u"), r_tuple("v")
+    out: dict[tuple[int, int], Polynomial] = {}
+    cache: dict[CNF, Polynomial] = {}
+    for a in (0, 1):
+        for b in (0, 1):
+            conditioned = formula.condition(r_u, bool(a)).condition(
+                r_v, bool(b))
+            out[(a, b)] = arithmetize(conditioned, _variable_name, cache)
+    return out
+
+
+def small_matrix_determinant(query: Query, p: int = 1) -> Polynomial:
+    """f_A = y00*y11 - y01*y10 (Eq. 28), a per-variable degree-<=2
+    polynomial in the internal tuple probabilities."""
+    y = small_matrix_polynomials(query, p)
+    return y[(0, 0)] * y[(1, 1)] - y[(0, 1)] * y[(1, 0)]
+
+
+def lemma12_check(query: Query, p: int = 1) -> tuple[bool, bool]:
+    """Return (determinant_is_zero, lineage_disconnects_endpoints).
+
+    Lemma 1.2 asserts these two Booleans always agree.
+    """
+    det = small_matrix_determinant(query, p)
+    formula = link_lineage(query, p)
+    disconnected = disconnects(formula, {r_tuple("u")}, {r_tuple("v")})
+    return det.is_zero(), disconnected
+
+
+def determinant_constant(query: Query, p: int = 1) -> Fraction:
+    """The constant c of Corollary 3.18: f_A = c * prod u_i(1 - u_i).
+
+    Raises ``ValueError`` when f_A does not have that shape (i.e. the
+    query is not a final Type-I query).
+    """
+    det = small_matrix_determinant(query, p)
+    if det.is_zero():
+        return Fraction(0)
+    variables = sorted(det.variables())
+    shape = Polynomial.one()
+    for var in variables:
+        x = Polynomial.variable(var)
+        shape = shape * x * (Polynomial.one() - x)
+    # c = det / shape must be constant: compare leading behaviour by
+    # evaluating both at a generic interior point and checking equality
+    # of the full polynomials.
+    point = {var: Fraction(1, 2) for var in variables}
+    denom = shape.evaluate(point)
+    c = det.evaluate(point) / denom
+    if det != shape * Polynomial.constant(c):
+        raise ValueError("determinant is not of the form c * prod u(1-u)")
+    return c

@@ -1,0 +1,238 @@
+"""The end-to-end Cook reduction #P2CNF -> FOMC_bi(Q) (Theorem 3.1).
+
+Given a final Type-I query Q and a P2CNF instance Phi with m clauses
+over n variables, the reduction:
+
+1. builds, for parameter pairs p = (p1, p2), the disjoint-block database
+   Delta(p) whose probabilities all lie in {1/2, 1} (Section 3.3) — one
+   parallel block per 2CNF clause, path lengths p1 and p2;
+2. obtains Pr_{Delta(p)}(Q) from the FOMC oracle;
+3. assembles the linear system of Eq. (10): one unknown per undirected
+   signature k' = (k00, k01_10, k11) with k00 + k01_10 + k11 = m,
+   coefficient y00^{k00} * y10^{k01,10} * y11^{k11} where
+   y_ab(p) = z_ab(p1) z_ab(p2) (Eq. 25) and z_ab(p) comes from the
+   block-matrix power A(p) = A(1)^p / 2^{p-1} (Lemma 3.19);
+4. solves it exactly, recovering every signature count #k', and returns
+   #Phi = sum of #k' over signatures with k00 = 0.
+
+Row selection.  Since y_ab is symmetric in (p1, p2), rows indexed by the
+full grid {1..m+1}^2 repeat; we therefore enumerate parameter
+*multisets* p1 <= p2 in increasing order and keep exactly those rows
+that increase the rank (decided exactly over Q), stopping at full rank.
+Theorem 3.6 (via conditions (22)-(24), which hold for final queries by
+Theorem 3.14) guarantees the row space reaches full rank; the oracle is
+consulted only for kept rows, so the reduction stays polynomial.
+
+Two built-in oracles:
+
+* ``"wmc"`` — the honest oracle: materialize Delta(p) and run the exact
+  weighted model counter on the full lineage;
+* ``"product"`` — the block-product fast path of Theorem 3.4
+  (Pr = 2^-n * sum_theta prod_edges y_{theta(u), theta(v)}), itself
+  validated against "wmc" in the test suite.
+
+The recovered counts are integers, non-negative and sum to 2^n — all
+asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Callable
+
+from repro.algebra.matrices import Matrix
+from repro.core.final import is_final
+from repro.core.safety import query_type
+from repro.counting.p2cnf import P2CNF, Signature
+from repro.reduction.block_matrix import z_matrix_direct, z_matrix_power
+from repro.reduction.blocks import reduction_tid
+from repro.tid.database import TID
+from repro.tid.wmc import probability
+
+Oracle = Callable[[TID], Fraction]
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """Output of the Type-I reduction."""
+
+    signature_counts: dict[Signature, int]
+    model_count: int
+    oracle_calls: int
+    system_size: int
+    parameters_used: tuple[tuple[int, int], ...]
+
+
+def valid_signatures(m: int) -> list[Signature]:
+    """All undirected signatures (k00, k01_10, k11) with sum m."""
+    return [(m - k1 - k2, k1, k2)
+            for k1 in range(m + 1) for k2 in range(m + 1 - k1)]
+
+
+class Type1Reduction:
+    """#P2CNF <=^P FOMC_bi(Q) for a final Type-I query Q (Theorem 3.1)."""
+
+    def __init__(self, query, *, check_final: bool = True):
+        qtype = query_type(query)
+        if qtype is None or qtype != ("I", "I"):
+            raise ValueError(f"Type-I reduction needs a type I-I query, "
+                             f"got {qtype}")
+        if check_final and not is_final(query):
+            raise ValueError(
+                "the query must be final (Definition 2.8) for the "
+                "reduction's non-singularity argument; pass "
+                "check_final=False to override")
+        self.query = query
+        # The one-link block matrix A(1), computed once by exact WMC.
+        self.base_matrix = z_matrix_direct(query, 1)
+        self._z_cache: dict[int, dict[str, Fraction]] = {}
+
+    # ------------------------------------------------------------------
+    def z_values(self, p: int) -> dict[str, Fraction]:
+        """z_ab(p) for ab in {00, 10, 11} via Lemma 3.19."""
+        cached = self._z_cache.get(p)
+        if cached is not None:
+            return cached
+        a_p = z_matrix_power(self.query, p, self.base_matrix)
+        if a_p[0, 1] != a_p[1, 0]:
+            raise AssertionError("block is not symmetric (Prop. 3.20)")
+        values = {"00": a_p[0, 0], "10": a_p[1, 0], "11": a_p[1, 1]}
+        self._z_cache[p] = values
+        return values
+
+    def y_values(self, params: tuple[int, int]) -> dict[str, Fraction]:
+        """y_ab(p1, p2) = z_ab(p1) * z_ab(p2) (Eq. 25)."""
+        z1 = self.z_values(params[0])
+        z2 = self.z_values(params[1])
+        return {key: z1[key] * z2[key] for key in z1}
+
+    def coefficient_row(self, m: int,
+                        params: tuple[int, int]) -> list[Fraction]:
+        """The Eq. (10) coefficients of the unknowns #k' for one
+        parameter pair."""
+        y = self.y_values(params)
+        return [y["00"] ** k00 * y["10"] ** k01_10 * y["11"] ** k11
+                for (k00, k01_10, k11) in valid_signatures(m)]
+
+    # ------------------------------------------------------------------
+    def product_oracle_value(self, phi: P2CNF,
+                             params: tuple[int, int]) -> Fraction:
+        """2^n * Pr_Delta(Q) by the block-product formula (Theorem 3.4 /
+        Eq. 8): sum over theta of the per-edge conditioned lineage
+        probabilities."""
+        y = self.y_values(params)
+        lookup = {(0, 0): y["00"], (0, 1): y["10"],
+                  (1, 0): y["10"], (1, 1): y["11"]}
+        total = Fraction(0)
+        for bits in iter_product((0, 1), repeat=phi.n):
+            term = Fraction(1)
+            for i, j in phi.edges:
+                term *= lookup[(bits[i], bits[j])]
+                if term == 0:
+                    break
+            total += term
+        return total
+
+    def reduction_database(self, phi: P2CNF,
+                           params: tuple[int, int]) -> TID:
+        """Delta(params): the disjoint-block FOMC database for Phi."""
+        nodes = [f"x{i}" for i in range(phi.n)]
+        edges = [(f"x{i}", f"x{j}") for i, j in phi.edges]
+        return reduction_tid(self.query, nodes, edges, list(params))
+
+    def wmc_oracle_value(self, phi: P2CNF,
+                         params: tuple[int, int]) -> Fraction:
+        """2^n * Pr_Delta(Q) by materializing Delta and running WMC."""
+        tid = self.reduction_database(phi, params)
+        return probability(self.query, tid) * Fraction(2) ** phi.n
+
+    # ------------------------------------------------------------------
+    def _select_rows(self, m: int, max_parameter: int
+                     ) -> list[tuple[tuple[int, int], list[Fraction]]]:
+        """Greedily pick parameter multisets whose Eq. (10) rows reach
+        full rank (exact arithmetic)."""
+        target = len(valid_signatures(m))
+        selected: list[tuple[tuple[int, int], list[Fraction]]] = []
+        # Incremental Gaussian basis: pivot column -> normalized row.
+        basis: dict[int, list[Fraction]] = {}
+        limit = max(m + 1, 2)
+        while len(selected) < target and limit <= max_parameter:
+            candidates = [(p1, p2)
+                          for p2 in range(1, limit + 1)
+                          for p1 in range(1, p2 + 1)]
+            candidates.sort(key=lambda p: (max(p), sum(p), p))
+            for params in candidates:
+                if len(selected) == target:
+                    break
+                if any(params == used for used, _ in selected):
+                    continue
+                row = self.coefficient_row(m, params)
+                residual = list(row)
+                for col, pivot_row in basis.items():
+                    if residual[col] != 0:
+                        factor = residual[col]
+                        residual = [a - factor * b
+                                    for a, b in zip(residual, pivot_row)]
+                pivot = next((i for i, a in enumerate(residual) if a != 0),
+                             None)
+                if pivot is None:
+                    continue
+                scale = residual[pivot]
+                basis[pivot] = [a / scale for a in residual]
+                selected.append((params, row))
+            limit += m + 1
+        if len(selected) < target:
+            raise AssertionError(
+                "could not reach full rank; Theorem 3.6's conditions "
+                "appear violated (is the query final?)")
+        return selected
+
+    def run(self, phi: P2CNF, oracle: str | Oracle = "product",
+            max_parameter: int = 64) -> ReductionResult:
+        """Execute the reduction and recover #Phi."""
+        m = phi.m
+        if m == 0:
+            count = 2 ** phi.n
+            return ReductionResult({(0, 0, 0): count}, count, 0, 0, ())
+        signatures = valid_signatures(m)
+        selected = self._select_rows(m, max_parameter)
+        rows = [row for _, row in selected]
+        params_used = tuple(params for params, _ in selected)
+
+        rhs = []
+        for params in params_used:
+            if oracle == "product":
+                value = self.product_oracle_value(phi, params)
+            elif oracle == "wmc":
+                value = self.wmc_oracle_value(phi, params)
+            else:
+                tid = self.reduction_database(phi, params)
+                value = oracle(tid) * Fraction(2) ** phi.n
+            rhs.append(value)
+
+        solution = Matrix(rows).solve(rhs)
+
+        counts: dict[Signature, int] = {}
+        total = 0
+        for signature, value in zip(signatures, solution):
+            if value.denominator != 1 or value < 0:
+                raise AssertionError(
+                    f"non-integral or negative count: {value}")
+            count = int(value)
+            if count:
+                counts[signature] = count
+            total += count
+        if total != 2 ** phi.n:
+            raise AssertionError(
+                f"counts sum to {total}, expected {2 ** phi.n}")
+        model_count = sum(c for (k00, _, _), c in counts.items()
+                          if k00 == 0)
+        return ReductionResult(counts, model_count, len(params_used),
+                               len(signatures), params_used)
+
+
+def count_p2cnf(query, phi: P2CNF, oracle: str | Oracle = "product") -> int:
+    """Convenience wrapper: #Phi via the Type-I reduction through Q."""
+    return Type1Reduction(query).run(phi, oracle=oracle).model_count

@@ -1,0 +1,135 @@
+"""Consistent assignments over the Type-II zig-zag block (Section C.7).
+
+The probability-tuning argument of Appendix C requires assigning the
+same value to *equivalent* tuples across the zig-zag: for each binary
+symbol S the odd class {S(r_0,t_0), S(r_1,t_1), ...}, the even class
+{S(r_1,t_0), S(r_2,t_1), ...}, and one class per dead-end branch
+(Definition C.26).  The partial assignment theta_0 sets whole dead-end
+classes to 0 or 1 — but only when the endpoints-connectivity of every
+Y_alpha_beta survives; the remaining classes stay at 1/2
+(Definition C.27: a *final* consistent assignment).
+
+This module enumerates the equivalence classes of the blocks built by
+``repro.reduction.type2_blocks`` and searches for theta_0 greedily,
+mirroring the construction below Definition C.26.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import disconnects, is_connected
+from repro.core.queries import Query
+from repro.reduction.type2_blocks import dead_end_count, type2_block
+from repro.reduction.type2_lattice import TypeIIStructure
+from repro.tid.database import TID, s_tuple
+
+HALF = Fraction(1, 2)
+
+ClassKey = tuple  # (symbol, kind, extra)
+
+
+def zigzag_equivalence_classes(query: Query, p: int, tag: str = "",
+                               branches: int = 1
+                               ) -> dict[ClassKey, list[tuple]]:
+    """The tuple equivalence classes of B^(p)(u, v) (Definition C.26).
+
+    Keys: (symbol, "odd"), (symbol, "even"),
+    (symbol, "dead-left", j), (symbol, "dead-right", j),
+    (symbol, "prefix", i), (symbol, "suffix", i).
+    """
+    deads = dead_end_count(query)
+    classes: dict[ClassKey, list[tuple]] = {}
+    for symbol in sorted(query.binary_symbols):
+        odd = [s_tuple(symbol, f"r{i}{tag}", f"t{i}{tag}")
+               for i in range(p + 1)]
+        even = [s_tuple(symbol, f"r{i}{tag}", f"t{i - 1}{tag}")
+                for i in range(1, p + 1)]
+        classes[(symbol, "odd")] = odd
+        if even:
+            classes[(symbol, "even")] = even
+        for j in range(deads):
+            classes[(symbol, "dead-left", j)] = [
+                s_tuple(symbol, f"r{i}{tag}", f"e{i}_{j}{tag}")
+                for i in range(p + 1)]
+            classes[(symbol, "dead-right", j)] = [
+                s_tuple(symbol, f"f{i}_{j}{tag}", f"t{i}{tag}")
+                for i in range(p + 1)]
+        for i in range(branches):
+            classes[(symbol, "prefix", i)] = [
+                s_tuple(symbol, "u", f"tpref{i}{tag}"),
+                s_tuple(symbol, f"r0{tag}", f"tpref{i}{tag}")]
+            classes[(symbol, "suffix", i)] = [
+                s_tuple(symbol, f"rsuff{i}{tag}", f"t{p}{tag}"),
+                s_tuple(symbol, f"rsuff{i}{tag}", "v")]
+    return classes
+
+
+def is_consistent(assignment: Mapping[tuple, Fraction],
+                  classes: Mapping[ClassKey, list[tuple]]) -> bool:
+    """Does the assignment give every class a single value?"""
+    for tuples in classes.values():
+        values = {assignment[t] for t in tuples if t in assignment}
+        if len(values) > 1:
+            return False
+    return True
+
+
+def endpoint_tuples(structure: TypeIIStructure, tag: str = "",
+                    p: int = 1) -> tuple[frozenset, frozenset]:
+    """The 'far left' and 'far right' tuple groups whose connectivity
+    theta_0 must preserve: all tuples of the first and last elementary
+    blocks of the zig-zag."""
+    symbols = sorted(structure.query.binary_symbols)
+    left = frozenset(s_tuple(s, f"r0{tag}", f"t0{tag}") for s in symbols)
+    right = frozenset(s_tuple(s, f"r{p}{tag}", f"t{p}{tag}")
+                      for s in symbols)
+    return left, right
+
+
+def assignment_keeps_connectivity(structure: TypeIIStructure, block: TID,
+                                  assignment: Mapping[tuple, Fraction],
+                                  p: int, tag: str = "") -> bool:
+    """Check that under ``assignment`` every Y_alpha_beta stays
+    connected and keeps the far-left and far-right tuples joined."""
+    adjusted = block
+    for token, value in assignment.items():
+        adjusted = adjusted.with_probability(token, value)
+    far_left, far_right = endpoint_tuples(structure, tag, p)
+    for alpha in structure.left_lattice.strict_support:
+        for beta in structure.right_lattice.strict_support:
+            y = structure.lineage_y(adjusted, "u", "v", alpha, beta)
+            if y.is_false() or y.is_true():
+                return False
+            live_left = far_left & y.variables()
+            live_right = far_right & y.variables()
+            if not live_left or not live_right:
+                return False
+            if disconnects(y, live_left, live_right):
+                return False
+    return True
+
+
+def find_theta0(query: Query, p: int = 1, tag: str = "",
+                branches: int = 1) -> dict[tuple, Fraction]:
+    """Greedy search for the partial assignment theta_0: try to pin
+    each dead-end class to 0 or 1, keeping connectivity; everything
+    else stays at 1/2 (the construction below Definition C.27)."""
+    structure = TypeIIStructure(query)
+    block = type2_block(query, p, tag=tag, branches=branches)
+    classes = zigzag_equivalence_classes(query, p, tag, branches)
+    theta0: dict[tuple, Fraction] = {}
+    for key, tuples in sorted(classes.items(), key=repr):
+        if key[1] not in ("dead-left", "dead-right"):
+            continue
+        for value in (Fraction(0), Fraction(1)):
+            candidate = dict(theta0)
+            candidate.update({t: value for t in tuples})
+            if assignment_keeps_connectivity(structure, block,
+                                             candidate, p, tag):
+                theta0 = candidate
+                break
+    assert is_consistent(theta0, classes)
+    return theta0

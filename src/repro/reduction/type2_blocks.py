@@ -1,0 +1,119 @@
+"""The Type-II zig-zag block B^(p)(u, v) (Definition C.21, Figure 3).
+
+The block is a union of *elementary blocks* B(a, b) — one tuple S(a, b)
+per binary symbol, probability 1/2 unless overridden:
+
+* a prefix of ``r`` parallel branches  B(u, tpref_i) u B(r0, tpref_i);
+* the zig-zag chain B(r0, t0), B(r1, t0), B(r1, t1), ..., B(rp, tp);
+* a suffix of ``r`` parallel branches  B(rsuff_i, tp) u B(rsuff_i, v);
+* m - 2 dead-end branches B(r_i, e^(j)_i) at every left constant and
+  B(f^(j)_i, t_i) at every right constant, where m is the largest
+  subclause count of any Type-II clause (Example A.3 explains why the
+  dead ends are necessary to keep clauses non-redundant).
+
+The paper tunes the probabilities of prefix/suffix tuples (the
+assignments theta, theta' of Sections C.7-C.10) to meet conditions
+(68)-(70); ``assignment`` lets callers install any such choice, and
+``consistent_assignment_candidates`` enumerates the {0, 1/2, 1} values
+that Lemma 1.1 searches over.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.queries import Query
+from repro.tid.database import TID, s_tuple
+
+HALF = Fraction(1, 2)
+
+
+def dead_end_count(query: Query) -> int:
+    """m - 2, with m the largest subclause count of any Type-II clause."""
+    widest = max((len(c.subclauses) for c in query.clauses
+                  if c.is_type2), default=2)
+    return max(widest - 2, 0)
+
+
+def elementary_block_tuples(query: Query, a, b) -> list[tuple]:
+    """The tuples of the elementary block B(a, b)."""
+    return [s_tuple(symbol, a, b) for symbol in sorted(query.binary_symbols)]
+
+
+def type2_block(query: Query, p: int, u: str = "u", v: str = "v",
+                tag: str = "", branches: int = 1,
+                assignment: Mapping[tuple, Fraction] | None = None) -> TID:
+    """B^(p)(u, v): the zig-zag block of Definition C.21.
+
+    ``branches`` is the number r of parallel prefix/suffix branches;
+    ``assignment`` overrides probabilities of specific tuples (the
+    theta assignments); everything else defaults to 1/2 on elementary
+    blocks and 1 elsewhere.
+    """
+    if p < 0:
+        raise ValueError("p must be >= 0")
+    deads = dead_end_count(query)
+
+    lefts: list[str] = [u]
+    rights: list[str] = []
+    pairs: list[tuple[str, str]] = []
+
+    r_const = [f"r{i}{tag}" for i in range(p + 1)]
+    t_const = [f"t{i}{tag}" for i in range(p + 1)]
+    lefts += r_const
+    rights += t_const
+
+    # Prefix branches: B(u, tpref_i) u B(r0, tpref_i).
+    for i in range(branches):
+        tpref = f"tpref{i}{tag}"
+        rights.append(tpref)
+        pairs.append((u, tpref))
+        pairs.append((r_const[0], tpref))
+
+    # Zig-zag chain: B(r0, t0), then B(r_i, t_{i-1}) u B(r_i, t_i).
+    pairs.append((r_const[0], t_const[0]))
+    for i in range(1, p + 1):
+        pairs.append((r_const[i], t_const[i - 1]))
+        pairs.append((r_const[i], t_const[i]))
+
+    # Suffix branches: B(rsuff_i, tp) u B(rsuff_i, v).
+    rights.append(v)
+    for i in range(branches):
+        rsuff = f"rsuff{i}{tag}"
+        lefts.append(rsuff)
+        pairs.append((rsuff, t_const[p]))
+        pairs.append((rsuff, v))
+
+    # Dead ends: m-2 at every r_i (right constants e) and t_i (left f).
+    for i in range(p + 1):
+        for j in range(deads):
+            e = f"e{i}_{j}{tag}"
+            rights.append(e)
+            pairs.append((r_const[i], e))
+            f = f"f{i}_{j}{tag}"
+            lefts.append(f)
+            pairs.append((f, t_const[i]))
+
+    probs: dict[tuple, Fraction] = {}
+    for a, b in pairs:
+        for token in elementary_block_tuples(query, a, b):
+            probs[token] = HALF
+    if assignment:
+        for token, value in assignment.items():
+            if token not in probs:
+                raise ValueError(f"assignment to non-block tuple: {token}")
+            probs[token] = Fraction(value)
+    return TID(lefts, rights, probs, default=Fraction(1))
+
+
+def block_pairs(query: Query, p: int, u: str = "u", v: str = "v",
+                tag: str = "", branches: int = 1) -> list[tuple[str, str]]:
+    """The elementary-block pairs of B^(p)(u, v) (for inspection and
+    for enumerating assignment targets)."""
+    tid = type2_block(query, p, u, v, tag, branches)
+    pairs = set()
+    for token in tid.probs:
+        if len(token) == 3:
+            pairs.add((token[1], token[2]))
+    return sorted(pairs)

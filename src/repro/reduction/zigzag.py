@@ -1,0 +1,190 @@
+"""The zig-zag rewriting zg(Q) (Appendix A, Lemma 2.6, Figure 2).
+
+Given an unsafe bipartite query Q of type A-B, the construction produces
+
+* a new vocabulary zg(R): n disjoint copies S^(1)..S^(n) of every binary
+  symbol; when Q has the left unary R, the copies R^(1) and R^(n) become
+  the unary symbols of zg(Q) (its new "R" and "T") while R^(2..n-1) turn
+  binary; the right unary T becomes the binary T^(12);
+* the query zg(Q) over zg(R), of type A-A and length >= 2k (clauses
+  (38)-(45));
+* for any bipartite database Delta over zg(R), a database zg(Delta)
+  over R with the *same probability values* such that
+  Pr_Delta(zg(Q)) = Pr_{zg(Delta)}(Q) (Lemma A.1).
+
+The branching width n is 2 when Q's right part is Type I, and otherwise
+max(3, largest subclause count of a right clause); the "dead end"
+constants f^(i)_uv (Example A.3) keep the translated right clauses
+non-redundant.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+
+from repro.core.clauses import Clause
+from repro.core.queries import Query
+from repro.core.safety import query_type
+from repro.core.symbols import LEFT_UNARY, RIGHT_UNARY
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+
+def branch_width(query: Query) -> int:
+    """The number n of branches (Appendix A): 2 for Type-*-I queries,
+    otherwise max(3, largest right-clause subclause count)."""
+    qtype = query_type(query)
+    if qtype is None:
+        raise ValueError("zg needs a bipartite query (no full clauses)")
+    if qtype[1] == "I":
+        return 2
+    widest = max((len(c.subclauses) for c in query.right_clauses
+                  if c.is_type2), default=0)
+    return max(3, widest)
+
+
+def _copy_name(symbol: str, i: int) -> str:
+    return f"{symbol}^({i})"
+
+
+def zigzag_vocabulary(query: Query) -> dict[str, object]:
+    """Describe zg(R): branch width, copies, and unary handling."""
+    n = branch_width(query)
+    has_r = any(LEFT_UNARY in c.unaries for c in query.clauses)
+    has_t = any(RIGHT_UNARY in c.unaries for c in query.clauses)
+    return {
+        "n": n,
+        "has_left_unary": has_r,
+        "has_right_unary": has_t,
+        "binary_copies": {
+            symbol: tuple(_copy_name(symbol, i) for i in range(1, n + 1))
+            for symbol in sorted(query.binary_symbols)},
+        # R^(2..n-1) become binary symbols of zg(Q); R^(1)/R^(n) are the
+        # new unaries, represented as "R" / "T" in the new query.
+        "r_middle_copies": tuple(
+            _copy_name(LEFT_UNARY, i) for i in range(2, n)) if has_r else (),
+        "t_copy": _copy_name(RIGHT_UNARY, 12) if has_t else None,
+    }
+
+
+def _sub_copy(subclause: frozenset[str], i: int) -> frozenset[str]:
+    return frozenset(_copy_name(s, i) for s in subclause)
+
+
+def zigzag_query(query: Query) -> Query:
+    """zg(Q): the zig-zag query over zg(R) (clauses (38)-(45))."""
+    vocab = zigzag_vocabulary(query)
+    n = vocab["n"]
+    clauses: list[Clause] = []
+    for clause in query.clauses:
+        if clause.side == "left":
+            clauses.extend(_translate_left(clause, n))
+        elif clause.side == "middle":
+            (j,) = clause.subclauses
+            for i in range(1, n + 1):
+                clauses.append(Clause.middle(*_sub_copy(j, i)))
+        elif clause.side == "right":
+            clauses.extend(_translate_right(clause, n))
+        else:
+            raise ValueError("zg does not apply to full clauses (H0)")
+    return Query(clauses)
+
+
+def _translate_left(clause: Clause, n: int) -> list[Clause]:
+    out: list[Clause] = []
+    if LEFT_UNARY in clause.unaries:
+        # Type I left clause: Eqs. (38), middles, (39).
+        (j,) = clause.subclauses
+        out.append(Clause.left_type1(*_sub_copy(j, 1)))
+        for i in range(2, n):
+            out.append(Clause.middle(
+                _copy_name(LEFT_UNARY, i), *_sub_copy(j, i)))
+        out.append(Clause.right_type1(*_sub_copy(j, n)))
+    else:
+        # Type II left clause: Eqs. (40), middles, (41).
+        subs = clause.subclauses
+        out.append(Clause.left_type2(*[_sub_copy(j, 1) for j in subs]))
+        for i in range(2, n):
+            union = frozenset(s for j in subs for s in _sub_copy(j, i))
+            out.append(Clause.middle(*union))
+        out.append(Clause.right_type2(*[_sub_copy(j, n) for j in subs]))
+    return out
+
+
+def _translate_right(clause: Clause, n: int) -> list[Clause]:
+    out: list[Clause] = []
+    if RIGHT_UNARY in clause.unaries:
+        # Type I right clause: Eqs. (43)-(44); here n == 2.
+        (j,) = clause.subclauses
+        t12 = _copy_name(RIGHT_UNARY, 12)
+        out.append(Clause.middle(t12, *_sub_copy(j, 1)))
+        out.append(Clause.middle(t12, *_sub_copy(j, 2)))
+    else:
+        # Type II right clause: Eq. (45), one middle clause per
+        # phi : [l] -> [n]; redundant ones are removed by Query.
+        subs = clause.subclauses
+        for phi in iter_product(range(1, n + 1), repeat=len(subs)):
+            union = frozenset(
+                s for j, i in zip(subs, phi) for s in _sub_copy(j, i))
+            out.append(Clause.middle(*union))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The database mapping zg(Delta)
+# ----------------------------------------------------------------------
+def zigzag_database(query: Query, delta: TID) -> TID:
+    """zg(Delta): a database for Q over R from a database for zg(Q)
+    over zg(R), preserving Pr (Lemma A.1) and the probability values.
+
+    ``delta``'s left domain hosts the new unary R = R^(1); its right
+    domain hosts the new unary T = R^(n); binary tuples of delta carry
+    the copies S^(i), R^(2..n-1) and T^(12) under their copy names.
+    """
+    vocab = zigzag_vocabulary(query)
+    n = vocab["n"]
+    v1 = list(delta.left_domain)
+    v2 = list(delta.right_domain)
+
+    def f_const(u, v, i) -> str:
+        return f"f({u},{v})^({i})"
+
+    def e_const(u, v) -> str:
+        return f"e({u},{v})"
+
+    left = list(v1) + list(v2) + [
+        f_const(u, v, i) for u in v1 for v in v2 for i in range(2, n)]
+    right = [e_const(u, v) for u in v1 for v in v2]
+    probs: dict[tuple, Fraction] = {}
+
+    if vocab["has_left_unary"]:
+        for u in v1:
+            probs[r_tuple(u)] = delta.probability(r_tuple(u))
+        for u in v1:
+            for v in v2:
+                for i in range(2, n):
+                    probs[r_tuple(f_const(u, v, i))] = delta.probability(
+                        s_tuple(_copy_name(LEFT_UNARY, i), u, v))
+        for v in v2:
+            probs[r_tuple(v)] = delta.probability(t_tuple(v))
+
+    for symbol in sorted(query.binary_symbols):
+        for u in v1:
+            for v in v2:
+                e = e_const(u, v)
+                probs[s_tuple(symbol, u, e)] = delta.probability(
+                    s_tuple(_copy_name(symbol, 1), u, v))
+                for i in range(2, n):
+                    probs[s_tuple(symbol, f_const(u, v, i), e)] = (
+                        delta.probability(
+                            s_tuple(_copy_name(symbol, i), u, v)))
+                probs[s_tuple(symbol, v, e)] = delta.probability(
+                    s_tuple(_copy_name(symbol, n), u, v))
+
+    if vocab["has_right_unary"]:
+        for u in v1:
+            for v in v2:
+                probs[t_tuple(e_const(u, v))] = delta.probability(
+                    s_tuple(vocab["t_copy"], u, v))
+
+    return TID(left, right, probs, default=Fraction(1))

@@ -1,0 +1,64 @@
+"""Brute-force possible-worlds evaluation (the validation oracle).
+
+Enumerates all 2^n assignments to the uncertain tuples.  Exponential by
+construction — used only to cross-validate the WMC engine, the lifted
+evaluator, and the block-product formulas on small instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Mapping
+
+from repro.booleans.cnf import CNF
+from repro.core.queries import Query
+from repro.tid.database import TID
+from repro.tid.lineage import lineage
+
+ONE = Fraction(1)
+
+
+def cnf_probability_brute(formula: CNF,
+                          prob: Mapping | None = None,
+                          default: Fraction = Fraction(1, 2)) -> Fraction:
+    """Pr(F) by summing over all assignments of F's variables."""
+    if callable(prob):
+        lookup = prob
+    else:
+        table = dict(prob or {})
+        lookup = lambda v: table.get(v, default)  # noqa: E731
+    variables = sorted(formula.variables(), key=repr)
+    total = Fraction(0)
+    for bits in iter_product((False, True), repeat=len(variables)):
+        weight = ONE
+        true_vars = []
+        for var, bit in zip(variables, bits):
+            p = Fraction(lookup(var))
+            weight *= p if bit else ONE - p
+            if bit:
+                true_vars.append(var)
+        if weight and formula.evaluate(true_vars):
+            total += weight
+    return total
+
+
+def probability_brute(query: Query, tid: TID) -> Fraction:
+    """Pr(Q) over the TID by brute-force world enumeration."""
+    if query.is_false():
+        return Fraction(0)
+    formula = lineage(query, tid)
+    return cnf_probability_brute(formula, tid.probability)
+
+
+def count_models(formula: CNF, variables=None) -> int:
+    """The number of satisfying assignments over ``variables``
+    (default: the formula's variables)."""
+    variables = sorted(variables if variables is not None
+                       else formula.variables(), key=repr)
+    count = 0
+    for bits in iter_product((False, True), repeat=len(variables)):
+        true_vars = [v for v, bit in zip(variables, bits) if bit]
+        if formula.evaluate(true_vars):
+            count += 1
+    return count

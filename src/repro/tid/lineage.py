@@ -1,0 +1,122 @@
+"""Lineage: grounding a forall-CNF query over a TID (footnote 4).
+
+The lineage Phi_Delta(Q) is the monotone CNF over tuple variables
+obtained by expanding the universal quantifiers over the (bipartite)
+domain.  Tuples with probability 1 are *certain*: their literals are
+true, satisfying any clause containing them; tuples with probability 0
+are absent and their literals are dropped.  The remaining tuples become
+Boolean variables.
+
+Grounding rules per clause shape (u ranges over U, v over V):
+
+* middle  S_J:            clause {S_j(u,v) | j in J} for every (u, v);
+* full    R v S_J v T:    clause {R(u), T(v)} ∪ {S_j(u,v)} per (u, v);
+* left    R? v OR_l Ay.S_{J_l}: per u, the CNF disjunction of R(u) and
+  the per-subclause conjunctions AND_v {S_j(u,v) | j in J_l};
+* right:  mirror image.
+
+Type II clauses distribute the disjunction over |V| conjuncts per
+subclause, producing up to |V|^m clauses per u — polynomial for fixed
+query, exactly as the paper's footnote computes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.booleans.cnf import CNF
+from repro.core.queries import Query
+from repro.core.symbols import LEFT_UNARY, RIGHT_UNARY
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+ONE = Fraction(1)
+ZERO = Fraction(0)
+
+
+def _literal_cnf(tid: TID, token) -> CNF:
+    """The CNF of a single ground atom under the TID's certain tuples."""
+    p = tid.probability(token)
+    if p == ONE:
+        return CNF.TRUE
+    if p == ZERO:
+        return CNF.FALSE
+    return CNF([[token]])
+
+
+def _subclause_cnf(tid: TID, symbols, u, v) -> CNF:
+    """S_J grounded at (u, v): the disjunction of its atoms."""
+    clause = []
+    for symbol in sorted(symbols):
+        p = tid.probability(s_tuple(symbol, u, v))
+        if p == ONE:
+            return CNF.TRUE
+        if p != ZERO:
+            clause.append(s_tuple(symbol, u, v))
+    if not clause:
+        return CNF.FALSE
+    return CNF([clause])
+
+
+def lineage(query: Query, tid: TID) -> CNF:
+    """Phi_Delta(Q): the lineage CNF of ``query`` over ``tid``."""
+    if query.is_false():
+        return CNF.FALSE
+    parts: list[CNF] = []
+    for clause in query.clauses:
+        part = _clause_lineage(clause, tid)
+        if part.is_false():
+            return CNF.FALSE
+        parts.append(part)
+    return CNF.conjunction(parts)
+
+
+def _clause_lineage(clause, tid: TID) -> CNF:
+    if clause.side == "middle" or clause.side == "full":
+        return _ground_pointwise(clause, tid)
+    if clause.side == "left":
+        return CNF.conjunction(
+            _left_clause_at(clause, tid, u) for u in tid.left_domain)
+    if clause.side == "right":
+        return CNF.conjunction(
+            _right_clause_at(clause, tid, v) for v in tid.right_domain)
+    raise AssertionError(clause.side)  # pragma: no cover
+
+
+def _ground_pointwise(clause, tid: TID) -> CNF:
+    parts = []
+    (subclause,) = clause.subclauses or (frozenset(),)
+    for u in tid.left_domain:
+        for v in tid.right_domain:
+            ground = _subclause_cnf(tid, subclause, u, v)
+            if LEFT_UNARY in clause.unaries:
+                ground = ground.disjoin(_literal_cnf(tid, r_tuple(u)))
+            if RIGHT_UNARY in clause.unaries:
+                ground = ground.disjoin(_literal_cnf(tid, t_tuple(v)))
+            if ground.is_false():
+                return CNF.FALSE
+            parts.append(ground)
+    return CNF.conjunction(parts)
+
+
+def _left_clause_at(clause, tid: TID, u) -> CNF:
+    """R(u)? v OR_l AND_v S_{J_l}(u, v)."""
+    disjuncts: list[CNF] = []
+    if LEFT_UNARY in clause.unaries:
+        disjuncts.append(_literal_cnf(tid, r_tuple(u)))
+    for subclause in clause.subclauses:
+        disjuncts.append(CNF.conjunction(
+            _subclause_cnf(tid, subclause, u, v)
+            for v in tid.right_domain))
+    return CNF.disjunction(disjuncts)
+
+
+def _right_clause_at(clause, tid: TID, v) -> CNF:
+    """T(v)? v OR_l AND_u S_{J_l}(u, v)."""
+    disjuncts: list[CNF] = []
+    if RIGHT_UNARY in clause.unaries:
+        disjuncts.append(_literal_cnf(tid, t_tuple(v)))
+    for subclause in clause.subclauses:
+        disjuncts.append(CNF.conjunction(
+            _subclause_cnf(tid, subclause, u, v)
+            for u in tid.left_domain))
+    return CNF.disjunction(disjuncts)

@@ -1,0 +1,91 @@
+"""Arithmetization (Section 1.6) — repro.booleans.arithmetize."""
+
+from fractions import Fraction
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.polynomials import Polynomial
+from repro.booleans.arithmetize import arithmetize
+from repro.booleans.cnf import CNF
+
+F = Fraction
+
+
+class TestPaperExample:
+    def test_rs_st(self):
+        """Y = (R v S) & (S v T) arithmetizes to rt + s - rst."""
+        y = arithmetize(CNF([["r", "s"], ["s", "t"]]))
+        r, s, t = (Polynomial.variable(v) for v in "rst")
+        assert y == r * t + s - r * s * t
+
+    def test_value_at_half(self):
+        """Pr = 5/8 at probabilities 1/2 (the paper's example)."""
+        y = arithmetize(CNF([["r", "s"], ["s", "t"]]))
+        half = {v: F(1, 2) for v in "rst"}
+        assert y.evaluate(half) == F(5, 8)
+
+
+class TestBasics:
+    def test_true(self):
+        assert arithmetize(CNF.TRUE) == Polynomial.one()
+
+    def test_false(self):
+        assert arithmetize(CNF.FALSE).is_zero()
+
+    def test_single_variable(self):
+        assert arithmetize(CNF([["a"]])) == Polynomial.variable("a")
+
+    def test_single_clause(self):
+        # Pr(a v b) = a + b - ab
+        a, b = Polynomial.variable("a"), Polynomial.variable("b")
+        assert arithmetize(CNF([["a", "b"]])) == a + b - a * b
+
+    def test_independent_product(self):
+        a, b = Polynomial.variable("a"), Polynomial.variable("b")
+        assert arithmetize(CNF([["a"], ["b"]])) == a * b
+
+    def test_multilinear(self):
+        y = arithmetize(CNF([["a", "b"], ["b", "c"], ["a", "c"]]))
+        for v in "abc":
+            assert y.degree(v) <= 1
+
+    def test_custom_naming(self):
+        y = arithmetize(CNF([[("S", 1, 2)]]), name=lambda t: f"p{t[1]}{t[2]}")
+        assert y == Polynomial.variable("p12")
+
+
+@st.composite
+def cnfs(draw):
+    variables = ["a", "b", "c", "d"]
+    clauses = []
+    for _ in range(draw(st.integers(1, 4))):
+        clause = [v for v in variables if draw(st.booleans())]
+        if clause:
+            clauses.append(clause)
+    return CNF(clauses)
+
+
+class TestAgainstEnumeration:
+    @given(cnfs())
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_possible_worlds(self, formula):
+        """The arithmetization agrees with Y on every 0/1 point, hence
+        with the expectation at any product distribution."""
+        y = arithmetize(formula)
+        variables = sorted(formula.variables())
+        for bits in product((0, 1), repeat=len(variables)):
+            point = dict(zip(variables, map(F, bits)))
+            expected = F(1) if formula.evaluate(
+                {v for v, b in zip(variables, bits) if b}) else F(0)
+            assert y.evaluate(point) == expected
+
+    @given(cnfs())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_probability(self, formula):
+        from repro.tid.brute import cnf_probability_brute
+        y = arithmetize(formula)
+        probs = {v: F(1, 3) for v in formula.variables()}
+        assert y.evaluate({str(v): p for v, p in probs.items()}) == \
+            cnf_probability_brute(formula, probs)

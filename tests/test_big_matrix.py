@@ -1,0 +1,129 @@
+"""The big matrix of Theorem 3.6 (experiment E7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.reduction.big_matrix import (
+    big_matrix,
+    conditions_11_13,
+    exponent_vectors,
+    parameter_vectors,
+    theorem36_matrix,
+)
+
+F = Fraction
+
+#: A coefficient family satisfying conditions (11)-(13).
+GOOD = {
+    "lambda1": F(1, 2),
+    "lambda2": F(1, 5),
+    "coeffs": [(F(1), F(1)), (F(2), F(1, 3)), (F(-1), F(1, 7))],
+}
+
+
+class TestIndexSets:
+    def test_exponent_vectors(self):
+        assert len(exponent_vectors(2, 2)) == 9
+
+    def test_parameter_vectors(self):
+        assert parameter_vectors(1, 1) == [(1,), (2,)]
+
+
+class TestConditions:
+    def test_good(self):
+        assert conditions_11_13(GOOD["lambda1"], GOOD["lambda2"],
+                                GOOD["coeffs"])
+
+    def test_zero_lambda(self):
+        assert not conditions_11_13(F(0), F(1), GOOD["coeffs"])
+
+    def test_equal_lambdas(self):
+        assert not conditions_11_13(F(1, 2), F(1, 2), GOOD["coeffs"])
+
+    def test_opposite_lambdas(self):
+        assert not conditions_11_13(F(1, 2), F(-1, 2), GOOD["coeffs"])
+
+    def test_zero_b(self):
+        assert not conditions_11_13(F(1, 2), F(1, 5),
+                                    [(F(1), F(0)), (F(2), F(1))])
+
+    def test_proportional_pairs(self):
+        assert not conditions_11_13(F(1, 2), F(1, 5),
+                                    [(F(1), F(1)), (F(2), F(2))])
+
+
+class TestTheorem36H1:
+    """h = 1: rows are distinct parameter values, always non-singular
+    under the conditions."""
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_nonsingular(self, m):
+        matrix = theorem36_matrix(
+            m, 1, GOOD["lambda1"], GOOD["lambda2"], GOOD["coeffs"][:2])
+        assert not matrix.is_singular()
+
+    def test_violated_conditions_singular(self):
+        """With proportional coefficient pairs the matrix collapses."""
+        coeffs = [(F(1), F(1)), (F(2), F(2))]  # violates (13)
+        matrix = theorem36_matrix(2, 1, GOOD["lambda1"], GOOD["lambda2"],
+                                  coeffs)
+        assert matrix.is_singular()
+
+
+class TestTheorem36H2:
+    """h = 2: the naive grid {1..m+1}^2 contains symmetric duplicate
+    rows (y is symmetric under swapping p1, p2) — the reduction
+    therefore selects rows by rank; restricted to distinct multisets
+    the system used in Section 3.2 has full rank."""
+
+    def test_grid_rows_duplicate(self):
+        m = 1
+        matrix = theorem36_matrix(
+            m, 2, GOOD["lambda1"], GOOD["lambda2"], GOOD["coeffs"])
+        rows = matrix.rows
+        params = parameter_vectors(m, 2)
+        i12 = params.index((1, 2))
+        i21 = params.index((2, 1))
+        assert rows[i12] == rows[i21]
+        assert matrix.is_singular()
+
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_full_rank_over_multisets(self, m):
+        """Restricting columns to realizable exponents (k1 + k2 <= m)
+        and rows to parameter multisets gives a non-singular system —
+        the form the Type-I reduction solves."""
+        from repro.algebra.matrices import Matrix
+
+        def y(i, p):
+            a, b = GOOD["coeffs"][i]
+            value = F(1)
+            for pj in p:
+                value *= (a * GOOD["lambda1"] ** pj
+                          + b * GOOD["lambda2"] ** pj)
+            return value
+
+        columns = [(k1, k2) for k1 in range(m + 1)
+                   for k2 in range(m + 1 - k1)]
+        multisets = [(p1, p2) for p2 in range(1, 3 * m + 2)
+                     for p1 in range(1, p2 + 1)]
+        rows = []
+        for params in multisets:
+            row = [y(0, params) ** (m - k1 - k2)
+                   * y(1, params) ** k1 * y(2, params) ** k2
+                   for (k1, k2) in columns]
+            rows.append(row)
+        # Greedy row selection must reach full rank.
+        selected: list[list[F]] = []
+        for row in rows:
+            candidate = Matrix(selected + [row])
+            if candidate.rank() == len(selected) + 1:
+                selected.append(row)
+            if len(selected) == len(columns):
+                break
+        assert len(selected) == len(columns)
+        assert not Matrix(selected).is_singular()
+
+    def test_big_matrix_y0_zero_raises(self):
+        with pytest.raises(ValueError):
+            big_matrix(1, 1, lambda i, p: F(0))

@@ -1,0 +1,101 @@
+"""The block matrix A(p): Lemma 3.19, Proposition 3.20, Lemma 3.21,
+Theorem 3.14 (experiments E4, E5, E6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.eigen2x2 import spectral_decomposition_2x2
+from repro.algebra.quadratic import QuadraticNumber
+from repro.core import catalog
+from repro.reduction.block_matrix import (
+    block_spectral_data,
+    theorem_314_conditions,
+    z_matrix_direct,
+    z_matrix_power,
+    z_value,
+)
+
+F = Fraction
+
+FINAL_QUERIES = [
+    ("rst", catalog.rst_query()),
+    ("path2", catalog.path_query(2)),
+    ("wide", catalog.wide_final_query()),
+]
+
+
+class TestLemma319:
+    """A(p) = A(1)^p / 2^{p-1}: matrix powers equal direct WMC."""
+
+    @pytest.mark.parametrize("name,q", FINAL_QUERIES)
+    def test_power_matches_direct(self, name, q):
+        for p in (1, 2, 3):
+            assert z_matrix_direct(q, p) == z_matrix_power(q, p), (name, p)
+
+    def test_deeper_power_rst(self):
+        q = catalog.rst_query()
+        assert z_matrix_direct(q, 5) == z_matrix_power(q, 5)
+
+    def test_z_value_accessor(self):
+        q = catalog.rst_query()
+        assert z_value(q, 1, 0, 0) == F(1, 4)
+        assert z_value(q, 1, 1, 1) == F(5, 8)
+
+
+class TestProposition320:
+    @pytest.mark.parametrize("name,q", FINAL_QUERIES)
+    def test_ordering(self, name, q):
+        a1 = z_matrix_direct(q, 1)
+        z00, z01, z10, z11 = a1[0, 0], a1[0, 1], a1[1, 0], a1[1, 1]
+        assert z01 == z10
+        assert z00 < z01 < z11
+        assert 0 < z00 and z11 <= 1
+
+
+class TestLemma321:
+    @pytest.mark.parametrize("name,q", FINAL_QUERIES)
+    def test_eigenvalues(self, name, q):
+        dec = block_spectral_data(q)
+        zero = QuadraticNumber(0)
+        assert dec.lambda1 != zero
+        assert dec.lambda2 != zero
+        assert dec.lambda1 != dec.lambda2
+        assert dec.lambda1 != -dec.lambda2
+
+    def test_eigenvalue_sum_is_trace(self):
+        q = catalog.rst_query()
+        dec = block_spectral_data(q)
+        a1 = z_matrix_direct(q, 1)
+        assert dec.lambda1 + dec.lambda2 == QuadraticNumber(
+            a1[0, 0] + a1[1, 1])
+
+
+class TestTheorem314:
+    @pytest.mark.parametrize("name,q", FINAL_QUERIES)
+    def test_all_conditions(self, name, q):
+        conditions = theorem_314_conditions(q)
+        assert all(conditions.values()), (name, conditions)
+
+    def test_spectral_form_reconstructs_z(self):
+        """z_i(p) = a_i lambda1^p + b_i lambda2^p, exactly, through the
+        2^{p-1} normalization."""
+        q = catalog.rst_query()
+        dec = block_spectral_data(q)
+        for p in (1, 2, 3, 4):
+            reconstructed = dec.power(p)
+            direct = z_matrix_direct(q, p)
+            for i in range(2):
+                for j in range(2):
+                    scaled = QuadraticNumber(direct[i, j]) * (2 ** (p - 1))
+                    assert reconstructed[i, j] == scaled
+
+    def test_identity_at_p0(self):
+        """A(0) = I (Eq. 37): a_i + b_i matches the identity matrix."""
+        q = catalog.path_query(2)
+        dec = block_spectral_data(q)
+        identity = ((1, 0), (0, 1))
+        for i in range(2):
+            for j in range(2):
+                a, b = dec.coefficients[(i, j)]
+                assert a + b == QuadraticNumber(identity[i][j])

@@ -1,0 +1,98 @@
+"""The Type-I block databases (Section 3.3, Figure 1, experiment F1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.catalog import path_query, rst_query
+from repro.counting.problems import FOMC_VALUES
+from repro.reduction.blocks import parallel_block, path_block, reduction_tid
+from repro.tid.database import r_tuple, s_tuple, t_tuple
+from repro.tid.lineage import lineage
+from repro.tid.wmc import cnf_probability
+
+F = Fraction
+HALF = F(1, 2)
+
+
+class TestPathBlock:
+    def test_p1_structure(self):
+        """B_1(u, v): domain {u, v} + {t1}, edges (u,t1), (v,t1)."""
+        tid = path_block(rst_query(), 1)
+        assert set(tid.left_domain) == {"u", "v"}
+        assert len(tid.right_domain) == 1
+        assert tid.probability(r_tuple("u")) == HALF
+        assert tid.probability(r_tuple("v")) == HALF
+        (t1,) = tid.right_domain
+        assert tid.probability(t_tuple(t1)) == HALF
+        assert tid.probability(s_tuple("S1", "u", t1)) == HALF
+        assert tid.probability(s_tuple("S1", "v", t1)) == HALF
+
+    def test_p3_path_shape(self):
+        tid = path_block(rst_query(), 3)
+        # V1 = {u, v, r1, r2}; V2 = {t1, t2, t3}; 6 path edges.
+        assert len(tid.left_domain) == 4
+        assert len(tid.right_domain) == 3
+        edges = [t for t in tid.probs if len(t) == 3]
+        assert len(edges) == 6  # one binary symbol
+
+    def test_fomc_legal(self):
+        """Block probabilities lie in {1/2, 1} — a legal FOMC input."""
+        tid = path_block(path_query(2), 4)
+        assert tid.restrict_check(FOMC_VALUES)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            path_block(rst_query(), 0)
+
+    def test_tag_separates_blocks(self):
+        a = path_block(rst_query(), 2, tag="_a")
+        b = path_block(rst_query(), 2, tag="_b")
+        internal_a = set(a.left_domain) - {"u", "v"}
+        internal_b = set(b.left_domain) - {"u", "v"}
+        assert not internal_a & internal_b
+
+
+class TestParallelBlock:
+    def test_shares_only_endpoints(self):
+        tid = parallel_block(rst_query(), [1, 2])
+        assert set(tid.left_domain) & {"u", "v"} == {"u", "v"}
+
+    def test_lineage_product_eq25(self):
+        """y_ab(p1, p2) = y_ab(p1) * y_ab(p2) (Eq. 25 / Figure 1)."""
+        q = rst_query()
+        for a in (False, True):
+            for b in (False, True):
+                single = {}
+                for p in (1, 2):
+                    tid = path_block(q, p, tag=f"_s{p}")
+                    f = lineage(q, tid).condition(
+                        r_tuple("u"), a).condition(r_tuple("v"), b)
+                    single[p] = cnf_probability(f, tid.probability)
+                tid = parallel_block(q, [1, 2])
+                f = lineage(q, tid).condition(
+                    r_tuple("u"), a).condition(r_tuple("v"), b)
+                joint = cnf_probability(f, tid.probability)
+                assert joint == single[1] * single[2], (a, b)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            parallel_block(rst_query(), [])
+
+
+class TestReductionTid:
+    def test_nodes_get_half_r(self):
+        tid = reduction_tid(rst_query(), ["x0", "x1"], [("x0", "x1")],
+                            [1, 1])
+        assert tid.probability(r_tuple("x0")) == HALF
+        assert tid.probability(r_tuple("x1")) == HALF
+
+    def test_fomc_legal(self):
+        tid = reduction_tid(rst_query(), ["x0", "x1", "x2"],
+                            [("x0", "x1"), ("x1", "x2")], [1, 2])
+        assert tid.restrict_check(FOMC_VALUES)
+
+    def test_isolated_node(self):
+        tid = reduction_tid(rst_query(), ["x0", "x1"], [], [1])
+        assert tid.probability(r_tuple("x0")) == HALF
+        assert not [t for t in tid.probs if len(t) == 3]

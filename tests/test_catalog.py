@@ -1,0 +1,80 @@
+"""The query catalog reproduces the paper's running examples."""
+
+from repro.core import catalog
+from repro.core.clauses import Clause
+from repro.core.safety import is_unsafe, query_length, query_type
+
+
+class TestNamedQueries:
+    def test_h0_shape(self):
+        q = catalog.h0()
+        assert len(q.clauses) == 1
+        assert q.clauses[0].side == "full"
+        assert q.symbols == {"R", "S", "T"}
+
+    def test_rst_is_path1(self):
+        assert catalog.rst_query() == catalog.path_query(1)
+
+    def test_path_query_structure(self):
+        q = catalog.path_query(3)
+        assert len(q.left_clauses) == 1
+        assert len(q.middle_clauses) == 2
+        assert len(q.right_clauses) == 1
+
+    def test_path_query_fanout(self):
+        q = catalog.path_query(2, fanout=2)
+        assert len(q.binary_symbols) == 4
+
+    def test_path_query_invalid(self):
+        import pytest
+        with pytest.raises(ValueError):
+            catalog.path_query(0)
+
+    def test_example_c9_matches_paper(self):
+        q = catalog.example_c9()
+        assert query_type(q) == ("II", "II")
+        assert len(q.clauses) == 3
+        left = q.left_clauses[0]
+        assert left.subclauses == (frozenset({"S1"}), frozenset({"S2"}))
+
+    def test_example_c15_ubiquitous_symbols(self):
+        q = catalog.example_c15()
+        left = q.left_clauses[0]
+        # U occurs in every left subclause (left-ubiquitous).
+        assert all("U" in j for j in left.subclauses)
+        right = q.right_clauses[0]
+        assert all("V" in j for j in right.subclauses)
+
+    def test_example_c18_clause_count(self):
+        q = catalog.example_c18()
+        assert len(q.clauses) == 5
+        assert query_type(q) == ("II", "II")
+
+    def test_example_a3_right_clause(self):
+        q = catalog.example_a3()
+        right = q.right_clauses[0]
+        assert len(right.subclauses) == 3
+
+    def test_wide_final_query_shape(self):
+        q = catalog.wide_final_query()
+        assert len(q.right_clauses) == 2
+
+    def test_census_well_formed(self):
+        assert len(catalog.CENSUS) >= 12
+        names = [name for name, _, _ in catalog.CENSUS]
+        assert len(names) == len(set(names))
+
+    def test_census_reconstructible(self):
+        for name, ctor, expect_unsafe in catalog.CENSUS:
+            q1, q2 = ctor(), ctor()
+            assert q1 == q2, name
+            assert is_unsafe(q1) == expect_unsafe
+
+
+class TestLengths:
+    def test_path_lengths(self):
+        for k in range(1, 6):
+            assert query_length(catalog.path_query(k)) == k
+
+    def test_intro_example_length(self):
+        assert query_length(catalog.intro_example()) == 1

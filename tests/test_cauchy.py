@@ -1,0 +1,122 @@
+"""Lemmas 3.8, 3.10, 3.12 — repro.algebra.cauchy."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.cauchy import (
+    cauchy_determinant,
+    cauchy_matrix,
+    grid_nonvanishing_point,
+    jacobian_h,
+    jacobian_h_determinant,
+    lemma312_matrix,
+)
+from repro.algebra.polynomials import Polynomial
+
+F = Fraction
+
+
+class TestCauchyDeterminant:
+    def test_closed_form_small(self):
+        cs, zs = [F(1), F(2)], [F(3), F(5)]
+        assert cauchy_matrix(cs, zs).determinant() == \
+            cauchy_determinant(cs, zs)
+
+    def test_closed_form_3x3(self):
+        cs, zs = [F(1), F(2), F(5)], [F(3), F(7), F(11)]
+        assert cauchy_matrix(cs, zs).determinant() == \
+            cauchy_determinant(cs, zs)
+
+    def test_equal_cs_gives_zero(self):
+        assert cauchy_determinant([F(1), F(1)], [F(2), F(3)]) == 0
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            cauchy_determinant([F(1)], [F(2), F(3)])
+
+    distinct = st.lists(st.integers(1, 30), min_size=3, max_size=3,
+                        unique=True)
+
+    @given(distinct, distinct)
+    @settings(max_examples=40, deadline=None)
+    def test_closed_form_random(self, cs, zs):
+        cs = [F(c) for c in cs]
+        zs = [F(z, 7) for z in zs]
+        assert cauchy_matrix(cs, zs).determinant() == \
+            cauchy_determinant(cs, zs)
+
+
+class TestLemma310:
+    def test_jacobian_factorization(self):
+        cs, zs = [F(1), F(2), F(4)], [F(3), F(5), F(9)]
+        assert jacobian_h(cs, zs).determinant() == \
+            jacobian_h_determinant(cs, zs)
+
+    def test_nonzero_at_distinct_points(self):
+        """Lemma 3.10's conclusion: distinct c's and distinct u's give
+        a non-zero Jacobian."""
+        cs, zs = [F(1), F(2)], [F(5), F(7)]
+        assert jacobian_h(cs, zs).determinant() != 0
+
+    def test_zero_when_points_coincide(self):
+        cs, zs = [F(1), F(2)], [F(5), F(5)]
+        assert jacobian_h(cs, zs).determinant() == 0
+
+
+class TestLemma38:
+    def test_finds_point(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        poly = (x - 1) * (x - 2) * (y - 3)
+        grids = {"x": [F(1), F(2), F(4)], "y": [F(3), F(5)]}
+        point = grid_nonvanishing_point(poly, grids)
+        assert poly.evaluate(point) != 0
+        assert point["x"] == F(4)
+
+    def test_zero_poly_raises(self):
+        with pytest.raises(ValueError):
+            grid_nonvanishing_point(Polynomial.zero(), {})
+
+    def test_insufficient_grid_raises(self):
+        x = Polynomial.variable("x")
+        with pytest.raises(ValueError):
+            grid_nonvanishing_point((x - 1) * (x - 2),
+                                    {"x": [F(1), F(2)]})
+
+
+class TestLemma312:
+    def test_nonsingular_disjoint_grids(self):
+        matrix = lemma312_matrix([F(5), F(7)],
+                                 ([F(1), F(2)], [F(3), F(4)]), 1)
+        assert not matrix.is_singular()
+
+    def test_nonsingular_m2(self):
+        matrix = lemma312_matrix(
+            [F(5), F(7)],
+            ([F(1), F(2), F(3)], [F(10), F(11), F(12)]), 2)
+        assert not matrix.is_singular()
+
+    def test_equal_grids_singular(self):
+        """The repair recorded in EXPERIMENTS.md: with A_1 = A_2 the
+        rows collide under coordinate swap and the matrix IS singular —
+        Lemma 3.12 genuinely needs distinct per-coordinate grids."""
+        matrix = lemma312_matrix([F(5), F(7)],
+                                 ([F(1), F(2)], [F(1), F(2)]), 1)
+        assert matrix.is_singular()
+
+    def test_equal_cs_singular(self):
+        matrix = lemma312_matrix([F(5), F(5)],
+                                 ([F(1), F(2)], [F(3), F(4)]), 1)
+        assert matrix.is_singular()
+
+    def test_grid_count_mismatch(self):
+        with pytest.raises(ValueError):
+            lemma312_matrix([F(1), F(2)], ([F(1)],), 1)
+
+    def test_h3(self):
+        matrix = lemma312_matrix(
+            [F(2), F(3), F(11)],
+            ([F(1), F(5)], [F(6), F(8)], [F(9), F(13)]), 1)
+        assert not matrix.is_singular()

@@ -1,0 +1,73 @@
+"""The Coloring Count Problem (Definition C.2, Theorem C.3)."""
+
+from repro.counting.ccp import (
+    TOP_COLOR,
+    coloring_counts,
+    coloring_signature,
+    pp2cnf_count_from_ccp,
+)
+from repro.counting.pp2cnf import PP2CNF
+
+
+class TestSignature:
+    def test_single_edge(self):
+        sig = coloring_signature(["u"], ["v"], [("u", "v")],
+                                 {"u": 0}, {"v": 1})
+        d = dict(sig)
+        assert d[(0, 1)] == 1
+        assert d[(0, TOP_COLOR)] == 1
+        assert d[(TOP_COLOR, 1)] == 1
+
+    def test_node_counts(self):
+        sig = coloring_signature(["u1", "u2"], ["v"], [],
+                                 {"u1": 0, "u2": 0}, {"v": 2})
+        d = dict(sig)
+        assert d[(0, TOP_COLOR)] == 2
+        assert d[(TOP_COLOR, 2)] == 1
+
+
+class TestColoringCounts:
+    def test_total_is_m_to_u_times_n_to_v(self):
+        counts = coloring_counts(["u1", "u2"], ["v1"],
+                                 [("u1", "v1")], 2, 3)
+        assert sum(counts.values()) == 2 ** 2 * 3 ** 1
+
+    def test_empty_graph(self):
+        counts = coloring_counts(["u"], ["v"], [], 2, 2)
+        assert sum(counts.values()) == 4
+
+    def test_counts_positive(self):
+        counts = coloring_counts(["u"], ["v"], [("u", "v")], 2, 2)
+        assert all(c > 0 for c in counts.values())
+
+
+class TestTheoremC3:
+    """CCP solves #PP2CNF: extraction must match brute force."""
+
+    def check(self, phi: PP2CNF, m=2, n=2):
+        left = [f"x{i}" for i in range(phi.n_left)]
+        right = [f"y{j}" for j in range(phi.n_right)]
+        edges = [(f"x{i}", f"y{j}") for i, j in phi.edges]
+        counts = coloring_counts(left, right, edges, m, n)
+        got = pp2cnf_count_from_ccp(counts)
+        assert got == phi.count_satisfying()
+
+    def test_single_edge(self):
+        self.check(PP2CNF(1, 1, ((0, 0),)))
+
+    def test_matching(self):
+        self.check(PP2CNF.matching(2))
+
+    def test_complete_2_2(self):
+        self.check(PP2CNF.complete(2, 2))
+
+    def test_asymmetric(self):
+        self.check(PP2CNF(2, 1, ((0, 0), (1, 0))))
+
+    def test_no_edges(self):
+        self.check(PP2CNF(1, 1, ()))
+
+    def test_more_colors_than_needed(self):
+        """Theorem C.3 holds for any m, n >= 2: extra colors are
+        filtered by validity."""
+        self.check(PP2CNF.matching(2), m=3, n=3)

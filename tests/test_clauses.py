@@ -1,0 +1,147 @@
+"""Clause construction, canonicalization and rewriting (Definition 2.3,
+Lemma 2.7 building blocks)."""
+
+import pytest
+
+from repro.core.clauses import Clause
+
+
+class TestConstruction:
+    def test_left_type1(self):
+        c = Clause.left_type1("S1", "S2")
+        assert c.side == "left"
+        assert c.unaries == {"R"}
+        assert c.subclauses == (frozenset({"S1", "S2"}),)
+        assert not c.is_type2
+
+    def test_left_type2(self):
+        c = Clause.left_type2(["S1"], ["S2"])
+        assert c.side == "left"
+        assert not c.unaries
+        assert c.is_type2
+
+    def test_middle(self):
+        c = Clause.middle("S1")
+        assert c.side == "middle"
+
+    def test_right_type1(self):
+        c = Clause.right_type1("S1")
+        assert c.unaries == {"T"}
+        assert c.side == "right"
+
+    def test_full(self):
+        c = Clause.full("S")
+        assert c.side == "full"
+        assert c.unaries == {"R", "T"}
+
+    def test_unary_only(self):
+        c = Clause.unary_only("R")
+        assert c.side == "left"
+        assert c.subclauses == ()
+
+    def test_empty_clause_raises(self):
+        with pytest.raises(ValueError):
+            Clause("middle", (), [])
+
+    def test_empty_subclause_raises(self):
+        with pytest.raises(ValueError):
+            Clause("middle", (), [[]])
+
+    def test_type2_requires_side(self):
+        with pytest.raises(ValueError):
+            Clause("middle", (), [["S1"], ["S2"]])
+
+    def test_single_subclause_no_unary_is_middle(self):
+        c = Clause("left", (), [["S1"]])
+        assert c.side == "middle"
+
+    def test_bad_unary_raises(self):
+        with pytest.raises(ValueError):
+            Clause("middle", {"X"}, [["S1"]])
+
+
+class TestSubclauseAbsorption:
+    def test_subset_absorbed(self):
+        """Ay.S1 v Ay.(S1 v S2) == Ay.(S1 v S2): the subset disjunct is
+        absorbed (it implies the superset one)."""
+        c = Clause("left", (), [["S1"], ["S1", "S2"]])
+        assert c.subclauses == (frozenset({"S1", "S2"}),)
+        assert c.side == "middle"  # collapsed to a single subclause
+
+    def test_duplicates_merge(self):
+        c = Clause("left", (), [["S1", "S2"], ["S2", "S1"], ["S3"]])
+        assert len(c.subclauses) == 2
+
+    def test_incomparable_kept(self):
+        c = Clause.left_type2(["S1", "S2"], ["S2", "S3"])
+        assert len(c.subclauses) == 2
+
+
+class TestSetSymbol:
+    def test_binary_to_true_drops_clause(self):
+        c = Clause.middle("S1", "S2")
+        assert c.set_symbol("S1", True) is True
+
+    def test_binary_to_false_shrinks(self):
+        c = Clause.middle("S1", "S2")
+        assert c.set_symbol("S1", False) == Clause.middle("S2")
+
+    def test_binary_to_false_kills_clause(self):
+        c = Clause.middle("S1")
+        assert c.set_symbol("S1", False) is False
+
+    def test_left_clause_falls_back_to_unary(self):
+        c = Clause.left_type1("S1")
+        result = c.set_symbol("S1", False)
+        assert result == Clause.unary_only("R")
+
+    def test_type2_loses_subclause(self):
+        c = Clause.left_type2(["S1"], ["S2"])
+        result = c.set_symbol("S1", False)
+        assert result == Clause.middle("S2")
+
+    def test_type2_true_drops_whole_clause(self):
+        c = Clause.left_type2(["S1"], ["S2"])
+        assert c.set_symbol("S1", True) is True
+
+    def test_unary_true_drops_clause(self):
+        c = Clause.left_type1("S1")
+        assert c.set_symbol("R", True) is True
+
+    def test_unary_false_removes_unary(self):
+        c = Clause.left_type1("S1")
+        assert c.set_symbol("R", False) == Clause.middle("S1")
+
+    def test_unary_only_false_is_false(self):
+        c = Clause.unary_only("R")
+        assert c.set_symbol("R", False) is False
+
+    def test_absent_symbol_noop(self):
+        c = Clause.middle("S1")
+        assert c.set_symbol("S9", True) is c
+
+    def test_full_clause_rewrites(self):
+        c = Clause.full("S")
+        assert c.set_symbol("R", True) is True
+        assert c.set_symbol("R", False) == Clause.right_type1("S")
+        after = c.set_symbol("S", False)
+        assert after.side == "full"
+        assert after.subclauses == ()
+
+
+class TestEqualityHash:
+    def test_structural_equality(self):
+        assert Clause.middle("S1", "S2") == Clause.middle("S2", "S1")
+
+    def test_hashable(self):
+        assert len({Clause.middle("S1"), Clause.middle("S1")}) == 1
+
+    def test_side_distinguishes(self):
+        left = Clause.left_type2(["S1"], ["S2"])
+        right = Clause.right_type2(["S1"], ["S2"])
+        assert left != right
+
+    def test_symbols(self):
+        c = Clause.left_type1("S1", "S2")
+        assert c.symbols == {"R", "S1", "S2"}
+        assert c.binary_symbols == {"S1", "S2"}

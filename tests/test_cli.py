@@ -1,0 +1,69 @@
+"""The command-line interface — repro.cli."""
+
+import pytest
+
+from repro.cli import main, parse_edges, parse_query
+from repro.core.catalog import rst_query
+from repro.core.clauses import Clause
+
+
+class TestParseQuery:
+    def test_rst(self):
+        assert parse_query("(R|S1)(S1|T)") == rst_query()
+
+    def test_middle(self):
+        q = parse_query("(S1|S2)")
+        assert q.clauses == (Clause.middle("S1", "S2"),)
+
+    def test_full(self):
+        q = parse_query("(R|S|T)")
+        assert q.clauses[0].side == "full"
+
+    def test_type2(self):
+        q = parse_query("(L: S1 ; S2)(S1|S3)(R: S3 ; S4)")
+        assert q.clauses
+        sides = {c.side for c in q.clauses}
+        assert sides == {"left", "middle", "right"}
+
+    def test_no_clauses_raises(self):
+        with pytest.raises(ValueError):
+            parse_query("S1")
+
+
+class TestParseEdges:
+    def test_basic(self):
+        assert parse_edges("0-1,1-2") == [(0, 1), (1, 2)]
+
+    def test_empty_parts_skipped(self):
+        assert parse_edges("0-1,") == [(0, 1)]
+
+
+class TestCommands:
+    def test_classify(self, capsys):
+        assert main(["classify", "(R|S1)(S1|T)"]) == 0
+        out = capsys.readouterr().out
+        assert "safe:    False" in out
+        assert "final:   True" in out
+
+    def test_classify_safe(self, capsys):
+        assert main(["classify", "(R|S1)(S1|S2)"]) == 0
+        assert "safe:    True" in capsys.readouterr().out
+
+    def test_census(self, capsys):
+        assert main(["census"]) == 0
+        out = capsys.readouterr().out
+        assert "H0" in out
+        assert "unsafe" in out and "safe" in out
+
+    def test_reduce(self, capsys):
+        assert main(["reduce", "--edges", "0-1", "--vars", "2",
+                     "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "#Phi = 3" in out
+        assert "match" in out
+
+    def test_h0(self, capsys):
+        assert main(["h0", "--left", "1", "--right", "1",
+                     "--edges", "0-0", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "#PP2CNF = 3" in out

@@ -1,0 +1,161 @@
+"""Monotone CNF formulas — repro.booleans.cnf."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans.cnf import CNF
+
+
+class TestConstruction:
+    def test_true(self):
+        assert CNF.TRUE.is_true()
+        assert not CNF.TRUE.is_false()
+
+    def test_false(self):
+        assert CNF.FALSE.is_false()
+        assert CNF([[]]).is_false()
+
+    def test_absorption(self):
+        f = CNF([["a"], ["a", "b"]])
+        assert f.clauses == frozenset({frozenset({"a"})})
+
+    def test_absorption_keeps_incomparable(self):
+        f = CNF([["a", "b"], ["b", "c"]])
+        assert len(f.clauses) == 2
+
+    def test_duplicate_clauses_merge(self):
+        assert len(CNF([["a", "b"], ["b", "a"]]).clauses) == 1
+
+    def test_false_absorbs_everything(self):
+        f = CNF([[], ["a", "b"]])
+        assert f.is_false()
+        assert len(f.clauses) == 1
+
+    def test_variables(self):
+        assert CNF([["a", "b"], ["c"]]).variables() == {"a", "b", "c"}
+
+
+class TestConnectives:
+    def test_conjoin(self):
+        f = CNF([["a"]]) & CNF([["b"]])
+        assert f == CNF([["a"], ["b"]])
+
+    def test_conjoin_false(self):
+        assert (CNF([["a"]]) & CNF.FALSE).is_false()
+
+    def test_disjoin_distributes(self):
+        f = CNF([["a"], ["b"]]) | CNF([["c"]])
+        assert f == CNF([["a", "c"], ["b", "c"]])
+
+    def test_disjoin_true(self):
+        assert (CNF([["a"]]) | CNF.TRUE).is_true()
+
+    def test_disjunction_many(self):
+        f = CNF.disjunction([CNF([["a"]]), CNF([["b"]]), CNF([["c"]])])
+        assert f == CNF([["a", "b", "c"]])
+
+    def test_conjunction_shortcircuits_false(self):
+        assert CNF.conjunction([CNF([["a"]]), CNF.FALSE]).is_false()
+
+
+class TestConditioning:
+    def test_condition_true_drops_clauses(self):
+        f = CNF([["a", "b"], ["c"]])
+        assert f.condition("a", True) == CNF([["c"]])
+
+    def test_condition_false_shrinks(self):
+        f = CNF([["a", "b"], ["c"]])
+        assert f.condition("a", False) == CNF([["b"], ["c"]])
+
+    def test_condition_to_false(self):
+        assert CNF([["a"]]).condition("a", False).is_false()
+
+    def test_condition_many(self):
+        f = CNF([["a", "b"], ["b", "c"]])
+        assert f.condition_many({"a": False, "c": True}) == CNF([["b"]])
+
+    def test_evaluate(self):
+        f = CNF([["a", "b"], ["c"]])
+        assert f.evaluate({"a", "c"})
+        assert not f.evaluate({"a"})
+        assert not f.evaluate({"c"})
+
+
+class TestImplication:
+    def test_implies_subsumption(self):
+        assert CNF([["a"]]).implies(CNF([["a", "b"]]))
+        assert not CNF([["a", "b"]]).implies(CNF([["a"]]))
+
+    def test_implies_reflexive(self):
+        f = CNF([["a", "b"], ["c"]])
+        assert f.implies(f)
+
+    def test_false_implies_everything(self):
+        assert CNF.FALSE.implies(CNF([["a"]]))
+
+    def test_everything_implies_true(self):
+        assert CNF([["a"]]).implies(CNF.TRUE)
+
+    def test_rename(self):
+        f = CNF([["a", "b"]])
+        assert f.rename({"a": "x"}) == CNF([["x", "b"]])
+
+
+@st.composite
+def cnfs(draw, variables=("a", "b", "c", "d")):
+    n_clauses = draw(st.integers(0, 4))
+    clauses = []
+    for _ in range(n_clauses):
+        clause = [v for v in variables if draw(st.booleans())]
+        if clause:
+            clauses.append(clause)
+    return CNF(clauses)
+
+
+def brute_implies(f: CNF, g: CNF, variables) -> bool:
+    from itertools import product
+    for bits in product((False, True), repeat=len(variables)):
+        true_vars = {v for v, b in zip(variables, bits) if b}
+        if f.evaluate(true_vars) and not g.evaluate(true_vars):
+            return False
+    return True
+
+
+class TestProperties:
+    variables = ("a", "b", "c", "d")
+
+    @given(cnfs(), cnfs())
+    @settings(max_examples=80, deadline=None)
+    def test_implies_matches_semantics(self, f, g):
+        assert f.implies(g) == brute_implies(f, g, self.variables)
+
+    @given(cnfs(), cnfs())
+    @settings(max_examples=60, deadline=None)
+    def test_conjoin_semantics(self, f, g):
+        from itertools import product
+        h = f & g
+        for bits in product((False, True), repeat=4):
+            tv = {v for v, b in zip(self.variables, bits) if b}
+            assert h.evaluate(tv) == (f.evaluate(tv) and g.evaluate(tv))
+
+    @given(cnfs(), cnfs())
+    @settings(max_examples=60, deadline=None)
+    def test_disjoin_semantics(self, f, g):
+        from itertools import product
+        h = f | g
+        for bits in product((False, True), repeat=4):
+            tv = {v for v, b in zip(self.variables, bits) if b}
+            assert h.evaluate(tv) == (f.evaluate(tv) or g.evaluate(tv))
+
+    @given(cnfs(), st.sampled_from(("a", "b", "c", "d")),
+           st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_condition_semantics(self, f, var, value):
+        from itertools import product
+        g = f.condition(var, value)
+        others = [v for v in self.variables if v != var]
+        for bits in product((False, True), repeat=3):
+            tv = {v for v, b in zip(others, bits) if b}
+            full = tv | ({var} if value else set())
+            assert g.evaluate(tv) == f.evaluate(full)

@@ -1,0 +1,128 @@
+"""Connectivity of monotone formulas (Definitions B.2), including the
+migrating-variable example B.10."""
+
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import (
+    ball,
+    clause_distance,
+    components,
+    disconnects,
+    is_connected,
+    variable_disconnects,
+)
+
+
+class TestComponents:
+    def test_single_component(self):
+        f = CNF([["a", "b"], ["b", "c"]])
+        assert is_connected(f)
+        assert len(components(f)) == 1
+
+    def test_two_components(self):
+        f = CNF([["a", "b"], ["c", "d"]])
+        assert not is_connected(f)
+        assert len(components(f)) == 2
+
+    def test_constants_connected(self):
+        assert is_connected(CNF.TRUE)
+        assert is_connected(CNF.FALSE)
+
+    def test_components_multiply_back(self):
+        f = CNF([["a"], ["b", "c"], ["c", "d"]])
+        parts = components(f)
+        rebuilt = CNF.conjunction(parts)
+        assert rebuilt == f
+
+
+class TestDisconnects:
+    def test_disconnected_sets(self):
+        f = CNF([["a", "b"], ["c", "d"]])
+        assert disconnects(f, {"a"}, {"c"})
+        assert not disconnects(f, {"a"}, {"b"})
+
+    def test_variable_not_in_formula(self):
+        f = CNF([["a", "b"]])
+        assert disconnects(f, {"z"}, {"w"})
+
+    def test_variable_disconnects(self):
+        # F = (a v x)(x v b): x disconnects a from b.
+        f = CNF([["a", "x"], ["x", "b"]])
+        assert variable_disconnects(f, "x", {"a"}, {"b"})
+
+    def test_variable_does_not_disconnect(self):
+        f = CNF([["a", "b"]])
+        assert not variable_disconnects(f, "a", {"a"}, {"b"}) or True
+        # a appears with b in a clause: conditioning a=0 leaves (b),
+        # which no longer contains a, so it does disconnect; assert the
+        # precise semantics instead:
+        assert variable_disconnects(f, "a", {"a"}, {"b"})
+
+    def test_chain_not_disconnected_by_far_var(self):
+        f = CNF([["a", "x"], ["x", "y"], ["y", "b"]])
+        # conditioning y still leaves (a x) connected to (x ...)? after
+        # y := 0: (a x)(x)(b); components: {a,x} and {b}: disconnects.
+        assert variable_disconnects(f, "y", {"a"}, {"b"})
+        # but conditioning a far unrelated variable does not:
+        g = CNF([["a", "x"], ["x", "b"], ["a", "b"]])
+        assert not variable_disconnects(g, "x", {"a"}, {"b"})
+
+
+class TestDistance:
+    def test_same_clause_distance_zero(self):
+        f = CNF([["a", "b"]])
+        assert clause_distance(f, {"a"}, {"b"}) == 0
+
+    def test_path_distance(self):
+        f = CNF([["a", "x"], ["x", "y"], ["y", "b"]])
+        assert clause_distance(f, {"a"}, {"b"}) == 2
+
+    def test_unreachable(self):
+        f = CNF([["a", "x"], ["y", "b"]])
+        assert clause_distance(f, {"a"}, {"b"}) is None
+
+    def test_ball(self):
+        f = CNF([["a", "x"], ["x", "y"], ["y", "b"]])
+        assert ball(f, {"a"}, 0) == {"a", "x"}
+        assert ball(f, {"a"}, 1) == {"a", "x", "y"}
+        assert ball(f, {"a"}, 2) == {"a", "x", "y", "b"}
+
+
+class TestExampleB10:
+    """Example B.10: X disconnects U, V; Y, Z2, Z3 migrate."""
+
+    def setup_method(self):
+        self.f = CNF([
+            ["U", "Z0"],
+            ["Z0", "Z1", "Z2", "Z3"],
+            ["Z3", "X", "Y"],
+            ["X", "Y", "Z4"],
+            ["X", "Z1"],
+            ["Y", "Z2"],
+            ["Z4", "V"],
+        ])
+
+    def test_connected(self):
+        assert is_connected(self.f)
+
+    def test_x_disconnects_u_v(self):
+        assert variable_disconnects(self.f, "X", {"U"}, {"V"})
+
+    def test_cofactors_match_paper(self):
+        f0 = self.f.condition("X", False)
+        # F[X:=0] = (U v Z0) & Z1 & (Z3 v Y)(Y v Z4)(Y v Z2)(Z4 v V)
+        assert f0 == CNF([
+            ["U", "Z0"], ["Z1"], ["Z3", "Y"], ["Y", "Z4"], ["Y", "Z2"],
+            ["Z4", "V"]])
+        f1 = self.f.condition("X", True)
+        assert f1 == CNF([
+            ["U", "Z0"], ["Z0", "Z1", "Z2", "Z3"], ["Y", "Z2"],
+            ["Z4", "V"]])
+
+    def test_y_migrates(self):
+        """Y is migrating w.r.t. X, U, V: X disconnects neither UY from
+        V nor U from VY."""
+        assert not variable_disconnects(self.f, "X", {"U", "Y"}, {"V"})
+        assert not variable_disconnects(self.f, "X", {"U"}, {"V", "Y"})
+
+    def test_z0_does_not_migrate(self):
+        assert variable_disconnects(self.f, "X", {"U", "Z0"}, {"V"})

@@ -1,0 +1,112 @@
+"""UCQ / forall-CNF duality (Section 1.3)."""
+
+import random
+from fractions import Fraction
+from itertools import product
+
+from repro.core import catalog
+from repro.core.duality import (
+    DualUCQ,
+    complement_tid,
+    dual_model_counting_values,
+)
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.lineage import lineage
+from repro.tid.wmc import probability
+
+F = Fraction
+
+
+def random_tid(query, U, V, seed, values):
+    rng = random.Random(seed)
+    probs = {}
+    for u in U:
+        probs[r_tuple(u)] = rng.choice(values)
+    for v in V:
+        probs[t_tuple(v)] = rng.choice(values)
+    for s in sorted(query.binary_symbols):
+        for u in U:
+            for v in V:
+                probs[s_tuple(s, u, v)] = rng.choice(values)
+    return TID(U, V, probs, default=F(1))
+
+
+class TestComplement:
+    def test_complement_probabilities(self):
+        tid = TID(["u"], ["v"], {r_tuple("u"): F(1, 3)})
+        comp = complement_tid(tid)
+        assert comp.probability(r_tuple("u")) == F(2, 3)
+        assert comp.default == 0
+
+    def test_involution(self):
+        tid = TID(["u"], ["v"], {r_tuple("u"): F(1, 3),
+                                 t_tuple("v"): F(1)})
+        assert complement_tid(complement_tid(tid)) == tid
+
+    def test_gfomc_values_closed(self):
+        values = {F(0), F(1, 2), F(1)}
+        assert dual_model_counting_values(values) == values
+
+    def test_model_counting_values_not_closed(self):
+        """Section 1.2: {0, 1/2} complements to {1/2, 1} — model
+        counting is not closed under duals."""
+        values = {F(0), F(1, 2)}
+        assert dual_model_counting_values(values) == {F(1), F(1, 2)}
+
+
+class TestDualUCQSemantics:
+    def brute_ucq_probability(self, query, tid):
+        """Direct semantics: the UCQ holds in world W iff some clause
+        of the forall-CNF is fully violated... no — iff the dual
+        existential sentence holds: some clause of Q, under some
+        grounding, has ALL its atoms in W."""
+        formula = lineage(query, tid)
+        # The UCQ dual holds in W  iff  the forall-CNF fails in the
+        # complement world (all tuples swapped).  Enumerate worlds of
+        # the complemented TID directly.
+        comp = complement_tid(tid)
+        variables = sorted(
+            set(comp.probs) |
+            {v for v in formula.variables()}, key=repr)
+        total = F(0)
+        comp_formula = lineage(query, comp)
+        comp_vars = sorted(comp_formula.variables(), key=repr)
+        for bits in product((0, 1), repeat=len(comp_vars)):
+            weight = F(1)
+            world = set()
+            for var, bit in zip(comp_vars, bits):
+                p = comp.probability(var)
+                weight *= p if bit else 1 - p
+                if bit:
+                    world.add(var)
+            if weight and not comp_formula.evaluate(world):
+                total += weight
+        return total
+
+    def test_rst_duality(self):
+        q = catalog.rst_query()
+        for seed in range(4):
+            tid = random_tid(q, ["u1"], ["v1"],
+                             seed, [F(0), F(1, 3), F(1, 2), F(1)])
+            dual = DualUCQ(q)
+            assert dual.probability(tid) == self.brute_ucq_probability(
+                q, tid)
+
+    def test_h0_duality(self):
+        q = catalog.h0()
+        tid = random_tid(q, ["u1", "u2"], ["v1"], 7,
+                         [F(1, 4), F(1, 2)])
+        dual = DualUCQ(q)
+        assert dual.probability(tid) == self.brute_ucq_probability(q, tid)
+
+    def test_complement_identity(self):
+        """Pr(UCQ) + Pr'(forall-CNF) = 1."""
+        q = catalog.path_query(2)
+        tid = random_tid(q, ["u1"], ["v1", "v2"], 3,
+                         [F(0), F(1, 2), F(1)])
+        dual = DualUCQ(q)
+        assert dual.probability(tid) + \
+            probability(q, complement_tid(tid)) == 1
+
+    def test_repr(self):
+        assert "UCQ[" in repr(DualUCQ(catalog.rst_query()))

@@ -1,0 +1,108 @@
+"""Exact 2x2 spectral analysis — repro.algebra.eigen2x2."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.eigen2x2 import (
+    check_condition_22,
+    check_condition_23,
+    check_condition_24,
+    spectral_decomposition_2x2,
+)
+from repro.algebra.matrices import Matrix
+from repro.algebra.quadratic import QuadraticNumber
+
+F = Fraction
+
+
+def mat(rows):
+    return Matrix([[F(e) for e in row] for row in rows])
+
+
+class TestDecomposition:
+    def test_diagonal(self):
+        dec = spectral_decomposition_2x2(mat([[2, 0], [0, 3]]))
+        assert {dec.lambda1, dec.lambda2} == {QuadraticNumber(2),
+                                              QuadraticNumber(3)}
+
+    def test_power_reconstruction_rational(self):
+        m = mat([[2, 1], [1, 1]])
+        dec = spectral_decomposition_2x2(m)
+        for p in range(5):
+            expected = m ** p
+            got = dec.power(p)
+            for i in range(2):
+                for j in range(2):
+                    assert got[i, j] == QuadraticNumber(expected[i, j])
+
+    def test_entry_at_power(self):
+        m = mat([[F(1, 4), F(3, 8)], [F(3, 8), F(5, 8)]])
+        dec = spectral_decomposition_2x2(m)
+        m3 = m ** 3
+        assert dec.entry_at_power(0, 1, 3) == QuadraticNumber(m3[0, 1])
+
+    def test_repeated_eigenvalue_raises(self):
+        with pytest.raises(ValueError):
+            spectral_decomposition_2x2(mat([[1, 0], [0, 1]]))
+
+    def test_non_2x2_raises(self):
+        with pytest.raises(ValueError):
+            spectral_decomposition_2x2(Matrix.identity(3))
+
+    def test_trace_and_det(self):
+        m = mat([[2, 1], [1, 1]])
+        dec = spectral_decomposition_2x2(m)
+        assert dec.lambda1 + dec.lambda2 == QuadraticNumber(3)
+        assert dec.lambda1 * dec.lambda2 == QuadraticNumber(1)
+
+
+class TestConditions:
+    def test_condition_22_good(self):
+        dec = spectral_decomposition_2x2(mat([[2, 1], [1, 1]]))
+        assert check_condition_22(dec)
+
+    def test_condition_22_singular(self):
+        dec = spectral_decomposition_2x2(mat([[1, 1], [1, 1]]))
+        assert not check_condition_22(dec)  # lambda2 = 0
+
+    def test_condition_22_opposite(self):
+        dec = spectral_decomposition_2x2(mat([[0, 1], [1, 0]]))
+        assert not check_condition_22(dec)  # lambda1 = -lambda2
+
+    def test_condition_23_diagonal_fails(self):
+        # For diagonal matrices one of the b-coefficients vanishes.
+        dec = spectral_decomposition_2x2(mat([[2, 0], [0, 3]]))
+        assert not check_condition_23(dec)
+
+    def test_conditions_hold_generic(self):
+        dec = spectral_decomposition_2x2(mat([[F(1, 4), F(3, 8)],
+                                              [F(3, 8), F(5, 8)]]))
+        assert check_condition_22(dec)
+        assert check_condition_23(dec)
+        assert check_condition_24(dec)
+
+
+class TestPropertyReconstruction:
+    entries = st.integers(-4, 4)
+
+    @given(entries, entries, entries, entries)
+    @settings(max_examples=60, deadline=None)
+    def test_random_matrices(self, a, b, c, d):
+        m = mat([[a, b], [c, d]])
+        trace = a + d
+        det = a * d - b * c
+        disc = trace * trace - 4 * det
+        if disc < 0:
+            return  # complex eigenvalues unsupported (never arises here)
+        try:
+            dec = spectral_decomposition_2x2(m)
+        except ValueError:
+            return  # repeated eigenvalue
+        m4 = m ** 4
+        got = dec.power(4)
+        for i in range(2):
+            for j in range(2):
+                assert got[i, j] == QuadraticNumber(m4[i, j])

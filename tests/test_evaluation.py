@@ -1,0 +1,54 @@
+"""The dichotomy-aware evaluation router — repro.evaluation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.catalog import rst_query, safe_left_only
+from repro.evaluation import EvaluationResult, evaluate
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+F = Fraction
+
+
+def small_tid(query):
+    probs = {r_tuple("u"): F(1, 2), t_tuple("v"): F(1, 2)}
+    for s in sorted(query.binary_symbols):
+        probs[s_tuple(s, "u", "v")] = F(1, 2)
+    return TID(["u"], ["v"], probs)
+
+
+class TestRouting:
+    def test_safe_routes_to_lifted(self):
+        q = safe_left_only()
+        result = evaluate(q, small_tid(q))
+        assert result.method == "lifted"
+        assert result.safe
+
+    def test_unsafe_routes_to_wmc(self):
+        q = rst_query()
+        result = evaluate(q, small_tid(q))
+        assert result.method == "wmc"
+        assert not result.safe
+
+    def test_forced_methods_agree(self):
+        q = safe_left_only()
+        tid = small_tid(q)
+        values = {m: evaluate(q, tid, method=m).value
+                  for m in ("lifted", "wmc", "brute")}
+        assert len(set(values.values())) == 1
+
+    def test_cross_check(self):
+        q = rst_query()
+        result = evaluate(q, small_tid(q), method="cross-check")
+        assert result.method == "cross-check"
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            evaluate(rst_query(), small_tid(rst_query()), method="magic")
+
+    def test_result_compares_to_fraction(self):
+        q = rst_query()
+        result = evaluate(q, small_tid(q))
+        assert result == result.value
+        assert (result == EvaluationResult(result.value, "wmc", False))

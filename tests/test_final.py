@@ -1,0 +1,96 @@
+"""Final queries (Definition 2.8) and the simplification search."""
+
+import pytest
+
+from repro.core import catalog
+from repro.core.final import find_final, is_final, simplifications
+from repro.core.queries import Query
+from repro.core.safety import is_safe, is_unsafe, query_type
+
+
+class TestIsFinal:
+    def test_path_queries_final(self):
+        for k in (1, 2, 3):
+            assert is_final(catalog.path_query(k)), k
+
+    def test_wide_final(self):
+        assert is_final(catalog.wide_final_query())
+
+    def test_intro_example_not_final(self):
+        """(R v S1 v S2)(S2 v T): setting S1 := 0 keeps it unsafe."""
+        q = catalog.intro_example()
+        assert is_unsafe(q)
+        assert not is_final(q)
+        assert is_unsafe(q.set_symbol("S1", False))
+
+    def test_fanout_not_final(self):
+        assert not is_final(catalog.path_query(2, fanout=2))
+
+    def test_safe_not_final(self):
+        assert not is_final(catalog.safe_left_only())
+
+    def test_example_c9_final(self):
+        assert is_final(catalog.example_c9())
+
+    def test_all_simplifications_of_final_are_safe(self):
+        q = catalog.path_query(2)
+        for symbol, value, rewritten in simplifications(q):
+            assert is_safe(rewritten), (symbol, value)
+
+
+class TestFindFinal:
+    def test_already_final(self):
+        q = catalog.rst_query()
+        final, trace = find_final(q)
+        assert final == q
+        assert trace == []
+
+    def test_intro_example_reduces(self):
+        final, trace = find_final(catalog.intro_example())
+        assert is_final(final)
+        assert trace  # at least one rewriting happened
+
+    def test_fanout_reduces_to_final(self):
+        final, trace = find_final(catalog.path_query(2, fanout=2))
+        assert is_final(final)
+        # Every trace step removed one symbol.
+        assert len(trace) == len(set(s for s, _ in trace))
+
+    def test_safe_raises(self):
+        with pytest.raises(ValueError):
+            find_final(catalog.safe_left_only())
+
+    def test_trace_replay(self):
+        q = catalog.path_query(2, fanout=2)
+        final, trace = find_final(q)
+        replayed = q
+        for symbol, value in trace:
+            replayed = replayed.set_symbol(symbol, value)
+        assert replayed == final
+
+    def test_example_a3_reduces(self):
+        """Example A.3 is unsafe; under Definition 2.8's rewritings it
+        admits a further unsafe simplification (see the catalog note),
+        and the search lands on a final query."""
+        q = catalog.example_a3()
+        final, _ = find_final(q)
+        assert is_final(final)
+        assert query_type(final) is not None
+
+
+class TestFinalProperties:
+    def test_final_implies_unsafe(self):
+        for _, ctor, _ in catalog.CENSUS:
+            q = ctor()
+            if not q.full_clauses and is_final(q):
+                assert is_unsafe(q)
+
+    def test_rewriting_final_query_gives_safe(self):
+        q = catalog.path_query(3)
+        for symbol in sorted(q.symbols):
+            for value in (False, True):
+                assert is_safe(q.set_symbol(symbol, value))
+
+    def test_constant_queries_not_final(self):
+        assert not is_final(Query.TRUE)
+        assert not is_final(Query.FALSE)

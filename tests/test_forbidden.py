@@ -1,0 +1,107 @@
+"""Forbidden queries and ubiquitous symbols (Definition C.11,
+Lemma C.12)."""
+
+from repro.core import catalog
+from repro.core.forbidden import (
+    clause_ubiquitous,
+    is_forbidden,
+    left_ubiquitous,
+    minimal_left_right_paths,
+    right_ubiquitous,
+)
+
+
+class TestUbiquitousSymbols:
+    def test_c15_left_ubiquitous_u(self):
+        assert left_ubiquitous(catalog.example_c15()) == {"U"}
+
+    def test_c15_right_ubiquitous_v(self):
+        assert right_ubiquitous(catalog.example_c15()) == {"V"}
+
+    def test_c9_has_none(self):
+        assert left_ubiquitous(catalog.example_c9()) == frozenset()
+        assert right_ubiquitous(catalog.example_c9()) == frozenset()
+
+    def test_c18_two_left_ubiquitous(self):
+        """Example C.18 has two left-ubiquitous symbols U, U2
+        (Lemma C.12 (4): then each occurs in a middle clause)."""
+        q = catalog.example_c18()
+        assert left_ubiquitous(q) == {"U", "U2"}
+        middles = [j for c in q.middle_clauses for j in c.subclauses]
+        for symbol in ("U", "U2"):
+            assert any(symbol in j for j in middles)
+
+    def test_clause_ubiquitous(self):
+        q = catalog.example_c15()
+        (left,) = q.left_clauses
+        assert clause_ubiquitous(left) == {"U"}
+
+
+class TestMinimalPaths:
+    def test_c15_paths(self):
+        paths = minimal_left_right_paths(catalog.example_c15())
+        assert paths
+        for path in paths:
+            assert path[0].side == "left"
+            assert path[-1].side == "right"
+            assert len(path) == 3  # length 2
+
+    def test_safe_query_no_paths(self):
+        assert minimal_left_right_paths(catalog.safe_left_only()) == []
+
+    def test_consecutive_clauses_share_symbols(self):
+        for path in minimal_left_right_paths(catalog.example_c15()):
+            for a, b in zip(path, path[1:]):
+                assert a.symbols & b.symbols
+
+
+class TestIsForbidden:
+    def test_c15_forbidden(self):
+        assert is_forbidden(catalog.example_c15())
+
+    def test_c9_not_forbidden(self):
+        """Example C.9 is final but not forbidden: S2 in C0 is neither
+        ubiquitous nor shared with C1 — exactly why its Q_alpha_beta
+        disconnect (Example C.9's discussion)."""
+        assert not is_forbidden(catalog.example_c9())
+
+    def test_safe_not_forbidden(self):
+        assert not is_forbidden(catalog.safe_left_only())
+
+    def test_non_final_not_forbidden(self):
+        assert not is_forbidden(catalog.intro_example())
+
+    def test_lemma_c12_no_ubiquitous_in_c1(self):
+        """Lemma C.12 (2): no ubiquitous symbol occurs in C_1 on a
+        minimal path."""
+        q = catalog.example_c15()
+        lu = left_ubiquitous(q)
+        for path in minimal_left_right_paths(q):
+            c1 = path[1]
+            assert not (lu & c1.symbols)
+
+    def test_lemma_c12_subclauses_meet_c1(self):
+        """Lemma C.12 (3): every left subclause shares a symbol with
+        C_1."""
+        q = catalog.example_c15()
+        for path in minimal_left_right_paths(q):
+            first, second = path[0], path[1]
+            for j in first.subclauses:
+                assert j & second.symbols
+
+
+class TestForbiddenVsConnectivity:
+    def test_forbidden_gives_connected_lineages(self):
+        """The pairing the paper engineers: forbidden -> Lemma C.23
+        connectivity holds; non-forbidden final queries may fail it."""
+        from repro.booleans.connectivity import is_connected
+        from repro.reduction.type2_blocks import type2_block
+        from repro.reduction.type2_lattice import TypeIIStructure
+        q = catalog.example_c15()
+        assert is_forbidden(q)
+        st = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        for alpha in st.left_lattice.strict_support:
+            for beta in st.right_lattice.strict_support:
+                assert is_connected(st.lineage_y(block, "u", "v",
+                                                 alpha, beta))

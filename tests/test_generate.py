@@ -1,0 +1,97 @@
+"""The random query generator plus generator-driven property tests:
+Lemma 2.7 and the dichotomy invariants on hundreds of random queries."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.generate import GeneratorConfig, random_queries, random_query
+from repro.core.safety import is_safe, is_unsafe, query_length, query_type
+from repro.evaluation import evaluate
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+F = Fraction
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert random_query(7) == random_query(7)
+
+    def test_stream(self):
+        queries = random_queries(20)
+        assert len(queries) == 20
+
+    def test_never_constant(self):
+        for q in random_queries(50):
+            assert not q.is_constant()
+
+    def test_config_limits_symbols(self):
+        config = GeneratorConfig(n_symbols=2)
+        for q in random_queries(20, config=config):
+            assert q.binary_symbols <= {"S1", "S2"}
+
+    def test_type1_only_config(self):
+        config = GeneratorConfig(allow_type2=False)
+        for q in random_queries(20, config=config):
+            qtype = query_type(q)
+            assert qtype == ("I", "I")
+
+
+class TestLemma27OnRandomQueries:
+    """Lemma 2.7 on 60 random queries: rewriting preserves types,
+    propagates unsafety upward, and never shortens the query."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_rewriting_invariants(self, seed):
+        q = random_query(seed)
+        base_length = query_length(q)
+        for symbol in sorted(q.symbols):
+            for value in (False, True):
+                rewritten = q.set_symbol(symbol, value)
+                # (1) the symbol disappears
+                assert symbol not in rewritten.symbols
+                if rewritten.is_constant():
+                    continue
+                # (3) unsafety propagates upward
+                if is_unsafe(rewritten):
+                    assert is_unsafe(q)
+                # (4) length is non-decreasing
+                new_length = query_length(rewritten)
+                if base_length is not None and new_length is not None:
+                    assert new_length >= base_length
+
+
+class TestDichotomyOnRandomQueries:
+    """Safe random queries: the lifted evaluator agrees with exact WMC
+    on random GFOMC databases."""
+
+    def _tid(self, q, seed):
+        rng = random.Random(seed)
+        U, V = ["u1", "u2"], ["v1"]
+        values = [F(0), F(1, 2), F(1)]
+        probs = {}
+        for u in U:
+            probs[r_tuple(u)] = rng.choice(values)
+        for v in V:
+            probs[t_tuple(v)] = rng.choice(values)
+        for s in sorted(q.binary_symbols):
+            for u in U:
+                for v in V:
+                    probs[s_tuple(s, u, v)] = rng.choice(values)
+        return TID(U, V, probs)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_cross_check(self, seed):
+        q = random_query(seed, GeneratorConfig(n_symbols=3,
+                                               max_clauses=3))
+        tid = self._tid(q, seed)
+        result = evaluate(q, tid, method="cross-check")
+        assert 0 <= result.value <= 1
+        assert result.safe == is_safe(q)
+
+    def test_unsafe_fraction_sane(self):
+        """Census shape: both classes are populated in a random sweep."""
+        queries = random_queries(200)
+        unsafe = sum(1 for q in queries if is_unsafe(q))
+        assert 0 < unsafe < len(queries)

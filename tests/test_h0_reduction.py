@@ -1,0 +1,69 @@
+"""The one-call H0 reduction from #PP2CNF (Section 2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.counting.pp2cnf import PP2CNF
+from repro.counting.problems import GFOMC_VALUES
+from repro.reduction.h0 import count_pp2cnf_via_h0, h0_reduction_tid
+
+F = Fraction
+
+INSTANCES = [
+    PP2CNF(1, 1, ((0, 0),)),
+    PP2CNF.matching(2),
+    PP2CNF.matching(3),
+    PP2CNF.complete(2, 2),
+    PP2CNF.complete(2, 3),
+    PP2CNF(2, 2, ((0, 0), (0, 1), (1, 1))),
+    PP2CNF(3, 2, ((0, 0), (1, 0), (2, 1))),
+    PP2CNF(2, 2, ()),
+]
+
+
+class TestH0Reduction:
+    @pytest.mark.parametrize("phi", INSTANCES,
+                             ids=lambda p: f"L{p.n_left}R{p.n_right}m{p.m}")
+    def test_counts_match_brute_force(self, phi):
+        assert count_pp2cnf_via_h0(phi) == phi.count_satisfying()
+
+    def test_database_is_gfomc(self):
+        phi = PP2CNF.matching(2)
+        tid = h0_reduction_tid(phi)
+        assert tid.restrict_check(GFOMC_VALUES)
+
+    def test_database_uses_zero_on_edges(self):
+        phi = PP2CNF(1, 1, ((0, 0),))
+        tid = h0_reduction_tid(phi)
+        assert tid.probability(("S", "u0", "v0")) == 0
+
+    def test_nonedges_certain(self):
+        phi = PP2CNF(2, 1, ((0, 0),))
+        tid = h0_reduction_tid(phi)
+        assert tid.probability(("S", "u1", "v0")) == 1
+
+    def test_single_oracle_call(self):
+        """The reduction is Karp-style: exactly one GFOMC evaluation."""
+        calls = []
+
+        def oracle(query, tid):
+            calls.append((query, tid))
+            from repro.tid.wmc import probability
+            return probability(query, tid)
+
+        phi = PP2CNF.matching(2)
+        assert count_pp2cnf_via_h0(phi, oracle=oracle) == 9
+        assert len(calls) == 1
+
+    def test_lineage_is_phi(self):
+        """The lineage of H0 on the reduction TID IS the PP2CNF."""
+        from repro.core.catalog import h0
+        from repro.tid.lineage import lineage
+        phi = PP2CNF(2, 2, ((0, 0), (1, 1)))
+        tid = h0_reduction_tid(phi)
+        formula = lineage(h0(), tid)
+        expected_clauses = {
+            frozenset({("R", f"u{i}"), ("T", f"v{j}")})
+            for i, j in phi.edges}
+        assert formula.clauses == expected_clauses

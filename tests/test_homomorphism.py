@@ -1,0 +1,130 @@
+"""Clause homomorphisms and redundancy removal (Section 2)."""
+
+from repro.core.clauses import Clause
+from repro.core.homomorphism import (
+    clause_atoms,
+    clauses_equivalent,
+    homomorphism_exists,
+    minimize_clause_set,
+)
+
+
+class TestClauseAtoms:
+    def test_middle(self):
+        atoms, left, right = clause_atoms(Clause.middle("S1", "S2"))
+        assert atoms == {("S1", "x0", "y0"), ("S2", "x0", "y0")}
+        assert left == ("x0",) and right == ("y0",)
+
+    def test_left_type1(self):
+        atoms, _, _ = clause_atoms(Clause.left_type1("S1"))
+        assert ("R", "x0") in atoms
+        assert ("S1", "x0", "y0") in atoms
+
+    def test_left_type2_variables(self):
+        _, left, right = clause_atoms(Clause.left_type2(["S1"], ["S2"]))
+        assert left == ("x0",)
+        assert right == ("y0", "y1")
+
+    def test_right_type2_variables(self):
+        _, left, right = clause_atoms(Clause.right_type2(["S1"], ["S2"]))
+        assert left == ("x0", "x1")
+        assert right == ("y0",)
+
+    def test_full(self):
+        atoms, _, _ = clause_atoms(Clause.full("S"))
+        assert atoms == {("R", "x0"), ("T", "y0"), ("S", "x0", "y0")}
+
+
+class TestHomomorphism:
+    def test_middle_subset(self):
+        assert homomorphism_exists(Clause.middle("S1"),
+                                   Clause.middle("S1", "S2"))
+        assert not homomorphism_exists(Clause.middle("S1", "S2"),
+                                       Clause.middle("S1"))
+
+    def test_middle_into_left(self):
+        # S1(x,y) maps into R(x) v S1(x,y) v S2(x,y).
+        assert homomorphism_exists(Clause.middle("S1"),
+                                   Clause.left_type1("S1", "S2"))
+
+    def test_left_needs_unary(self):
+        # R(x) v S1 cannot map into the middle clause S1.
+        assert not homomorphism_exists(Clause.left_type1("S1"),
+                                       Clause.middle("S1"))
+
+    def test_middle_into_type2_subclause(self):
+        c2 = Clause.left_type2(["S1", "S2"], ["S3"])
+        assert homomorphism_exists(Clause.middle("S1"), c2)
+        assert not homomorphism_exists(Clause.middle("S1", "S3"), c2)
+
+    def test_type2_into_middle_needs_all_subclauses(self):
+        c2 = Clause.left_type2(["S1"], ["S2"])
+        assert homomorphism_exists(c2, Clause.middle("S1", "S2"))
+        assert not homomorphism_exists(c2, Clause.middle("S1"))
+
+    def test_left_type2_into_left_type2(self):
+        small = Clause.left_type2(["S1"], ["S2"])
+        big = Clause.left_type2(["S1", "S3"], ["S2", "S4"])
+        assert homomorphism_exists(small, big)
+        assert not homomorphism_exists(big, small)
+
+    def test_left_not_into_right(self):
+        left = Clause.left_type2(["S1"], ["S2"])
+        right = Clause.right_type2(["S1"], ["S2"])
+        # Ax (Ay S1 v Ay S2) -> Ay (Ax S1 v Ax S2): requires mapping
+        # both subclauses through a single x; needs S1,S2 in one J.
+        assert not homomorphism_exists(left, right)
+        wide = Clause.right_type2(["S1", "S2"], ["S3"])
+        assert homomorphism_exists(left, wide)
+
+    def test_unary_only_into_left(self):
+        assert homomorphism_exists(Clause.unary_only("R"),
+                                   Clause.left_type1("S1"))
+        assert homomorphism_exists(Clause.unary_only("R"), Clause.full("S"))
+        assert not homomorphism_exists(Clause.unary_only("R"),
+                                       Clause.right_type1("S1"))
+
+    def test_equivalence(self):
+        assert clauses_equivalent(Clause.middle("S1"), Clause.middle("S1"))
+        assert not clauses_equivalent(Clause.middle("S1"),
+                                      Clause.middle("S1", "S2"))
+
+
+class TestMinimizeClauseSet:
+    def test_removes_superset_middle(self):
+        kept = minimize_clause_set([Clause.middle("S1"),
+                                    Clause.middle("S1", "S2")])
+        assert kept == (Clause.middle("S1"),)
+
+    def test_keeps_incomparable(self):
+        clauses = [Clause.middle("S1", "S2"), Clause.middle("S2", "S3")]
+        assert set(minimize_clause_set(clauses)) == set(clauses)
+
+    def test_removes_redundant_left(self):
+        # forall x R(x) makes R(x) v S(x,y) redundant.
+        kept = minimize_clause_set([Clause.unary_only("R"),
+                                    Clause.left_type1("S1")])
+        assert kept == (Clause.unary_only("R"),)
+
+    def test_deduplicates(self):
+        kept = minimize_clause_set([Clause.middle("S1"),
+                                    Clause.middle("S1")])
+        assert len(kept) == 1
+
+    def test_paper_example_a3_middle_not_redundant(self):
+        """In Example A.3, D = (S1 v S2 v S3) is NOT redundant w.r.t.
+        the right Type-II clause with subclauses of size < 3."""
+        d = Clause.middle("S1", "S2", "S3")
+        c = Clause.right_type2(["U", "S1", "S2"], ["U", "S1", "S3"],
+                               ["U", "S2", "S3"])
+        kept = minimize_clause_set([d, c])
+        assert set(kept) == {d, c}
+
+    def test_right_type2_made_redundant_by_middle(self):
+        """But a middle clause contained in the union of all subclauses
+        mapped through one x DOES make... (homomorphism direction
+        check): here the type-II clause maps into the wide middle."""
+        wide = Clause.middle("S1", "S2", "S3")
+        c = Clause.right_type2(["S1"], ["S2", "S3"])
+        kept = minimize_clause_set([wide, c])
+        assert set(kept) == {c}

@@ -1,0 +1,161 @@
+"""Cross-module integration tests: the dichotomy in action (E13),
+generalized model counting through the hardness pipeline, and the
+paper's headline claims exercised end to end."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    P2CNF,
+    Query,
+    is_final,
+    is_safe,
+    is_unsafe,
+    lifted_probability,
+    probability,
+    probability_brute,
+)
+from repro.core import catalog
+from repro.core.final import find_final
+from repro.core.safety import query_length, query_type
+from repro.counting.problems import GFOMC_VALUES, gfomc
+from repro.reduction.blocks import path_block
+from repro.reduction.type1 import Type1Reduction
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+F = Fraction
+GFOMC_LIST = [F(0), F(1, 2), F(1)]
+
+
+def random_gfomc_tid(query, U, V, seed):
+    rng = random.Random(seed)
+    probs = {}
+    for u in U:
+        probs[r_tuple(u)] = rng.choice(GFOMC_LIST)
+    for v in V:
+        probs[t_tuple(v)] = rng.choice(GFOMC_LIST)
+    for s in sorted(query.binary_symbols):
+        for u in U:
+            for v in V:
+                probs[s_tuple(s, u, v)] = rng.choice(GFOMC_LIST)
+    return TID(U, V, probs, default=F(1))
+
+
+class TestDichotomyCensus:
+    """E13: classify the catalog; safe queries evaluate in PTIME and
+    agree with the exponential engine, unsafe queries route to the
+    hardness machinery."""
+
+    @pytest.mark.parametrize("name,ctor,expect_unsafe", catalog.CENSUS)
+    def test_classification_and_evaluation(self, name, ctor,
+                                           expect_unsafe):
+        q = ctor()
+        assert is_unsafe(q) == expect_unsafe
+        tid = random_gfomc_tid(q, ["u1", "u2"], ["v1"], seed=42)
+        value = gfomc(q, tid)
+        assert 0 <= value <= 1
+        if is_safe(q):
+            assert lifted_probability(q, tid) == value
+
+    def test_every_unsafe_query_reaches_a_final_query(self):
+        for name, ctor, expect_unsafe in catalog.CENSUS:
+            q = ctor()
+            if not expect_unsafe or q.full_clauses:
+                continue
+            final, _ = find_final(q)
+            assert is_final(final), name
+
+    def test_final_type1_queries_feed_the_reduction(self):
+        phi = P2CNF(2, ((0, 1),))
+        for name, ctor, expect_unsafe in catalog.CENSUS:
+            q = ctor()
+            if not expect_unsafe or q.full_clauses:
+                continue
+            final, _ = find_final(q)
+            if query_type(final) == ("I", "I"):
+                red = Type1Reduction(final)
+                assert red.run(phi).model_count == 3, name
+
+
+class TestThreeEvaluatorAgreement:
+    """WMC, brute force and (when safe) the lifted evaluator agree."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement(self, seed):
+        rng = random.Random(seed)
+        name, ctor, _ = catalog.CENSUS[seed % len(catalog.CENSUS)]
+        q = ctor()
+        if len(q.binary_symbols) > 4:
+            return
+        tid = random_gfomc_tid(q, ["u1", "u2"], ["v1"], seed)
+        w = probability(q, tid)
+        assert w == probability_brute(q, tid)
+        if is_safe(q):
+            assert w == lifted_probability(q, tid)
+
+
+class TestBlockLineageFacts:
+    def test_lemma_315_connectivity(self):
+        """Lemma 3.15: for unsafe Type-I queries the block lineage
+        Y^(p)(u,v) is connected."""
+        from repro.booleans.connectivity import is_connected
+        from repro.reduction.small_matrix import link_lineage
+        for q in (catalog.rst_query(), catalog.path_query(2),
+                  catalog.wide_final_query()):
+            for p in (1, 2, 3):
+                assert is_connected(link_lineage(q, p))
+
+    def test_lemma_317_internal_variables_disconnect(self):
+        """Lemma 3.17: conditioning any internal tuple of the link
+        block disconnects the endpoint variables (final queries)."""
+        from repro.booleans.connectivity import variable_disconnects
+        from repro.reduction.small_matrix import link_lineage
+        q = catalog.rst_query()
+        formula = link_lineage(q, p=2)
+        endpoints = ({r_tuple("u")}, {r_tuple("v")})
+        for token in sorted(formula.variables(), key=repr):
+            if token in (r_tuple("u"), r_tuple("v")):
+                continue
+            assert variable_disconnects(formula, token, *endpoints), token
+
+
+class TestGeneralizedModelCountingPipeline:
+    def test_gfomc_equals_scaled_count(self):
+        """GFOMC probability x 2^{#half tuples} is the generalized
+        model count — on a block database."""
+        q = catalog.rst_query()
+        tid = path_block(q, 2)
+        pr = gfomc(q, tid)
+        half_tuples = len(tid.uncertain_tuples())
+        count = pr * F(2) ** half_tuples
+        assert count.denominator == 1
+        assert count > 0
+
+    def test_probability_values_stay_gfomc(self):
+        q = catalog.rst_query()
+        red = Type1Reduction(q)
+        phi = P2CNF(2, ((0, 1),))
+        tid = red.reduction_database(phi, (1, 2))
+        assert tid.restrict_check(GFOMC_VALUES)
+
+
+class TestTheorem22Narrative:
+    """The paper's main theorem, walked end to end for one query: an
+    unsafe query, made final, drives a reduction that counts #P2CNF
+    with oracle databases whose probabilities lie in {1/2, 1} only."""
+
+    def test_full_story(self):
+        q = catalog.intro_example()          # unsafe, not final
+        assert is_unsafe(q) and not is_final(q)
+        final, trace = find_final(q)         # Lemma 2.7 chain
+        assert is_final(final)
+        assert query_type(final) == ("I", "I")
+        phi = P2CNF.path(3)
+        red = Type1Reduction(final)
+        result = red.run(phi)
+        assert result.model_count == phi.count_satisfying() == 5
+        for params in result.parameters_used:
+            tid = red.reduction_database(phi, params)
+            assert tid.restrict_check({F(1, 2), F(1)})

@@ -1,0 +1,96 @@
+"""Lemma 1.1: non-root assignments in {c1, c2, c3} (experiment E1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.lemma11 import (
+    PROBABILITY_VALUES,
+    find_nonroot_assignment,
+    verify_lemma11,
+)
+from repro.algebra.polynomials import Polynomial
+
+x = Polynomial.variable("x")
+y = Polynomial.variable("y")
+
+
+class TestBasics:
+    def test_constant(self):
+        assert find_nonroot_assignment(Polynomial.constant(3)) == {}
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            find_nonroot_assignment(Polynomial.zero())
+
+    def test_degree_three_raises(self):
+        with pytest.raises(ValueError):
+            find_nonroot_assignment(x ** 3)
+
+    def test_too_few_values_raises(self):
+        with pytest.raises(ValueError):
+            find_nonroot_assignment(x, values=[Fraction(0), Fraction(1)])
+
+    def test_single_variable(self):
+        # x(1-x) vanishes at 0 and 1; only 1/2 survives.
+        p = x * (1 - x)
+        assignment = find_nonroot_assignment(p)
+        assert assignment == {"x": Fraction(1, 2)}
+
+    def test_needs_zero(self):
+        # (x - 1/2)(x - 1) vanishes at 1/2 and 1; only 0 survives.
+        p = (x - Fraction(1, 2)) * (x - 1)
+        assert find_nonroot_assignment(p) == {"x": Fraction(0)}
+
+    def test_two_variables(self):
+        p = x * (1 - x) * y * (1 - y)
+        a = find_nonroot_assignment(p)
+        assert p.evaluate(a) != 0
+
+    def test_custom_values(self):
+        values = [Fraction(1, 3), Fraction(2, 3), Fraction(1, 5)]
+        p = (x - Fraction(1, 3)) * (x - Fraction(2, 3))
+        a = find_nonroot_assignment(p, values=values)
+        assert a["x"] == Fraction(1, 5)
+
+    def test_values_in_allowed_set(self):
+        p = (x + y) * (x - y) + x * y
+        a = find_nonroot_assignment(p)
+        assert set(a.values()) <= set(PROBABILITY_VALUES)
+
+
+@st.composite
+def degree2_polynomials(draw):
+    """Random non-zero polynomials with per-variable degree <= 2."""
+    variables = ["x", "y", "z"][: draw(st.integers(1, 3))]
+    terms = {}
+    for _ in range(draw(st.integers(1, 5))):
+        mono = tuple((v, draw(st.integers(1, 2)))
+                     for v in variables if draw(st.booleans()))
+        coeff = draw(st.integers(-4, 4))
+        if coeff:
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+    poly = Polynomial(terms)
+    return poly
+
+
+class TestLemma11Property:
+    @given(degree2_polynomials())
+    @settings(max_examples=150, deadline=None)
+    def test_lemma_holds(self, poly):
+        if poly.is_zero():
+            return
+        assert verify_lemma11(poly)
+
+    @given(degree2_polynomials())
+    @settings(max_examples=80, deadline=None)
+    def test_lemma_with_custom_constant(self, poly):
+        """The remark after Theorem 2.2: {0, c, 1} works for any c."""
+        if poly.is_zero():
+            return
+        values = [Fraction(0), Fraction(1, 3), Fraction(1)]
+        assignment = find_nonroot_assignment(poly, values=values)
+        full = {v: assignment.get(v, values[0]) for v in poly.variables()}
+        assert poly.evaluate(full) != 0

@@ -1,0 +1,111 @@
+"""The PTIME lifted evaluator for safe queries (the easy dichotomy side)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import catalog
+from repro.core.clauses import Clause
+from repro.core.queries import Query, query
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.lifted import UnsafeQueryError, lifted_probability
+from repro.tid.wmc import probability
+
+F = Fraction
+VALUES = [F(0), F(1, 4), F(1, 2), F(1)]
+
+
+def random_tid(symbols, U, V, seed):
+    rng = random.Random(seed)
+    probs = {}
+    for u in U:
+        probs[r_tuple(u)] = rng.choice(VALUES)
+    for v in V:
+        probs[t_tuple(v)] = rng.choice(VALUES)
+    for s in symbols:
+        for u in U:
+            for v in V:
+                probs[s_tuple(s, u, v)] = rng.choice(VALUES)
+    return TID(U, V, probs)
+
+
+SAFE_QUERIES = [
+    ("left-only", catalog.safe_left_only()),
+    ("disconnected", catalog.safe_disconnected()),
+    ("middle-only", query(Clause.middle("S1", "S2"))),
+    ("right-only type2", query(Clause.right_type2(["S1"], ["S2"]),
+                               Clause.middle("S1", "S2"))),
+    ("left type2", query(Clause.left_type2(["S1"], ["S2", "S3"]),
+                         Clause.middle("S2", "S4"))),
+    ("two left clauses", query(Clause.left_type1("S1"),
+                               Clause.left_type2(["S1"], ["S2"]),
+                               Clause.middle("S1", "S2"))),
+    ("unary only", query(Clause.unary_only("R"))),
+]
+
+
+class TestAgainstWMC:
+    @pytest.mark.parametrize("name,q", SAFE_QUERIES)
+    def test_matches_wmc_small(self, name, q):
+        symbols = sorted(q.binary_symbols)
+        for seed in range(6):
+            tid = random_tid(symbols, ["u1", "u2"], ["v1", "v2"], seed)
+            assert lifted_probability(q, tid) == probability(q, tid), \
+                (name, seed)
+
+    @pytest.mark.parametrize("name,q", SAFE_QUERIES[:4])
+    def test_matches_wmc_asymmetric_domains(self, name, q):
+        symbols = sorted(q.binary_symbols)
+        tid = random_tid(symbols, ["u1"], ["v1", "v2", "v3"], 99)
+        assert lifted_probability(q, tid) == probability(q, tid)
+
+    def test_full_clause_r_or_t(self):
+        q = Query([Clause("full", {"R", "T"}, [])])
+        tid = random_tid([], ["u1", "u2"], ["v1"], 7)
+        assert lifted_probability(q, tid) == probability(q, tid)
+
+
+class TestRejections:
+    def test_unsafe_raises(self):
+        q = catalog.rst_query()
+        tid = random_tid(["S1"], ["u"], ["v"], 0)
+        with pytest.raises(UnsafeQueryError):
+            lifted_probability(q, tid)
+
+    def test_h0_raises(self):
+        tid = random_tid(["S"], ["u"], ["v"], 0)
+        with pytest.raises(UnsafeQueryError):
+            lifted_probability(catalog.h0(), tid)
+
+
+class TestConstants:
+    def test_true(self):
+        tid = random_tid([], ["u"], ["v"], 0)
+        assert lifted_probability(Query.TRUE, tid) == 1
+
+    def test_false(self):
+        tid = random_tid([], ["u"], ["v"], 0)
+        assert lifted_probability(Query.FALSE, tid) == 0
+
+
+class TestScaling:
+    def test_larger_domain_runs(self):
+        """The lifted evaluator must handle domains where brute-force
+        WMC would be hopeless (PTIME side of the dichotomy, E13)."""
+        q = catalog.safe_left_only()
+        U = [f"u{i}" for i in range(12)]
+        V = [f"v{j}" for j in range(12)]
+        tid = random_tid(sorted(q.binary_symbols), U, V, 5)
+        value = lifted_probability(q, tid)
+        assert 0 <= value <= 1
+
+    def test_product_over_components(self):
+        q = catalog.safe_disconnected()
+        tid = random_tid(sorted(q.binary_symbols), ["u1"], ["v1"], 3)
+        from repro.core.safety import connected_components
+        parts = connected_components(q)
+        product = F(1)
+        for part in parts:
+            product *= lifted_probability(part, tid)
+        assert product == lifted_probability(q, tid)

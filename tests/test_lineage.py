@@ -1,0 +1,128 @@
+"""Lineage construction (footnote 4) — repro.tid.lineage."""
+
+from fractions import Fraction
+
+from repro.booleans.cnf import CNF
+from repro.core.catalog import h0, rst_query
+from repro.core.clauses import Clause
+from repro.core.queries import Query, query
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.lineage import lineage
+
+F = Fraction
+HALF = F(1, 2)
+
+
+def uniform_tid(symbols, U, V, p=HALF):
+    probs = {}
+    for u in U:
+        probs[r_tuple(u)] = p
+    for v in V:
+        probs[t_tuple(v)] = p
+    for s in symbols:
+        for u in U:
+            for v in V:
+                probs[s_tuple(s, u, v)] = p
+    return TID(U, V, probs)
+
+
+class TestMiddleClauses:
+    def test_single_pair(self):
+        q = query(Clause.middle("S1", "S2"))
+        tid = uniform_tid(["S1", "S2"], ["u"], ["v"])
+        assert lineage(q, tid) == CNF([
+            [s_tuple("S1", "u", "v"), s_tuple("S2", "u", "v")]])
+
+    def test_grid(self):
+        q = query(Clause.middle("S1"))
+        tid = uniform_tid(["S1"], ["u1", "u2"], ["v1", "v2"])
+        assert len(lineage(q, tid).clauses) == 4
+
+    def test_certain_tuple_satisfies_clause(self):
+        q = query(Clause.middle("S1", "S2"))
+        tid = uniform_tid(["S1", "S2"], ["u"], ["v"]).with_probability(
+            s_tuple("S1", "u", "v"), F(1))
+        assert lineage(q, tid).is_true()
+
+    def test_absent_tuple_dropped(self):
+        q = query(Clause.middle("S1", "S2"))
+        tid = uniform_tid(["S1", "S2"], ["u"], ["v"]).with_probability(
+            s_tuple("S1", "u", "v"), F(0))
+        assert lineage(q, tid) == CNF([[s_tuple("S2", "u", "v")]])
+
+    def test_all_absent_is_false(self):
+        q = query(Clause.middle("S1"))
+        tid = uniform_tid(["S1"], ["u"], ["v"]).with_probability(
+            s_tuple("S1", "u", "v"), F(0))
+        assert lineage(q, tid).is_false()
+
+
+class TestTypeIClauses:
+    def test_rst_single_link(self):
+        q = rst_query()
+        tid = uniform_tid(["S1"], ["u"], ["v"])
+        got = lineage(q, tid)
+        assert got == CNF([
+            [r_tuple("u"), s_tuple("S1", "u", "v")],
+            [s_tuple("S1", "u", "v"), t_tuple("v")]])
+
+    def test_h0(self):
+        tid = uniform_tid(["S"], ["u"], ["v"])
+        assert lineage(h0(), tid) == CNF([
+            [r_tuple("u"), s_tuple("S", "u", "v"), t_tuple("v")]])
+
+    def test_certain_unary_drops_clause(self):
+        q = rst_query()
+        tid = uniform_tid(["S1"], ["u"], ["v"]).with_probability(
+            r_tuple("u"), F(1))
+        got = lineage(q, tid)
+        assert got == CNF([[s_tuple("S1", "u", "v"), t_tuple("v")]])
+
+
+class TestTypeIIClauses:
+    def test_left_type2_distribution(self):
+        q = query(Clause.left_type2(["S1"], ["S2"]))
+        tid = uniform_tid(["S1", "S2"], ["u"], ["v1", "v2"])
+        got = lineage(q, tid)
+        # (AND_v S1(u,v)) v (AND_v S2(u,v)) -> 4 distributed clauses.
+        expected = CNF.disjunction([
+            CNF([[s_tuple("S1", "u", "v1")], [s_tuple("S1", "u", "v2")]]),
+            CNF([[s_tuple("S2", "u", "v1")], [s_tuple("S2", "u", "v2")]]),
+        ])
+        assert got == expected
+
+    def test_right_type2_distribution(self):
+        q = query(Clause.right_type2(["S1"], ["S2"]))
+        tid = uniform_tid(["S1", "S2"], ["u1", "u2"], ["v"])
+        got = lineage(q, tid)
+        assert len(got.clauses) == 4
+
+    def test_false_query(self):
+        assert lineage(Query.FALSE, uniform_tid([], ["u"], ["v"])).is_false()
+
+    def test_true_query(self):
+        assert lineage(Query.TRUE, uniform_tid([], ["u"], ["v"])).is_true()
+
+
+class TestLineageSemantics:
+    def test_possible_world_check(self):
+        """The lineage holds in a world iff the query does (checked by
+        direct evaluation of the grounded sentence)."""
+        q = rst_query()
+        U, V = ["u1", "u2"], ["v1"]
+        tid = uniform_tid(["S1"], U, V)
+        formula = lineage(q, tid)
+        import itertools
+        tuples = sorted(formula.variables(), key=repr)
+        for bits in itertools.product((0, 1), repeat=len(tuples)):
+            world = {t for t, b in zip(tuples, bits) if b}
+
+            def holds(u, v):
+                clause1 = r_tuple(u) in world or \
+                    s_tuple("S1", u, v) in world
+                clause2 = s_tuple("S1", u, v) in world or \
+                    t_tuple(v) in world
+                return clause1 and clause2
+
+            direct = all(holds(u, v) for u in U for v in V)
+            assert formula.evaluate(world) == direct

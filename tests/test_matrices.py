@@ -1,0 +1,126 @@
+"""Exact linear algebra tests for repro.algebra.matrices."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.matrices import Matrix
+
+F = Fraction
+
+
+def mat(rows):
+    return Matrix([[F(e) for e in row] for row in rows])
+
+
+class TestBasics:
+    def test_identity(self):
+        assert Matrix.identity(2) == mat([[1, 0], [0, 1]])
+
+    def test_ragged_raises(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [3]])
+
+    def test_transpose(self):
+        assert mat([[1, 2], [3, 4]]).transpose() == mat([[1, 3], [2, 4]])
+
+    def test_mul(self):
+        a = mat([[1, 2], [3, 4]])
+        b = mat([[0, 1], [1, 0]])
+        assert a * b == mat([[2, 1], [4, 3]])
+
+    def test_add_sub(self):
+        a = mat([[1, 2], [3, 4]])
+        assert a + a - a == a
+
+    def test_power(self):
+        a = mat([[1, 1], [0, 1]])
+        assert (a ** 5)[0, 1] == 5
+        assert a ** 0 == Matrix.identity(2)
+
+    def test_apply(self):
+        assert mat([[1, 2], [3, 4]]).apply([F(1), F(1)]) == [F(3), F(7)]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mat([[1, 2]]) * mat([[1, 2]])
+
+
+class TestDeterminantSolve:
+    def test_det_2x2(self):
+        assert mat([[1, 2], [3, 4]]).determinant() == -2
+
+    def test_det_singular(self):
+        assert mat([[1, 2], [2, 4]]).determinant() == 0
+        assert mat([[1, 2], [2, 4]]).is_singular()
+
+    def test_det_permutation_sign(self):
+        assert mat([[0, 1], [1, 0]]).determinant() == -1
+
+    def test_det_3x3(self):
+        m = mat([[2, 0, 1], [1, 1, 0], [0, 3, 1]])
+        assert m.determinant() == 5
+
+    def test_solve(self):
+        m = mat([[2, 1], [1, 3]])
+        rhs = [F(5), F(10)]
+        x = m.solve(rhs)
+        assert m.apply(x) == rhs
+
+    def test_solve_singular_raises(self):
+        with pytest.raises(ValueError):
+            mat([[1, 1], [1, 1]]).solve([F(1), F(2)])
+
+    def test_inverse(self):
+        m = mat([[2, 1], [1, 1]])
+        assert m * m.inverse() == Matrix.identity(2)
+
+    def test_rank(self):
+        assert mat([[1, 2], [2, 4]]).rank() == 1
+        assert mat([[1, 2], [3, 4]]).rank() == 2
+        assert mat([[0, 0], [0, 0]]).rank() == 0
+        assert mat([[1, 2, 3], [4, 5, 6]]).rank() == 2
+
+
+class TestKronecker:
+    def test_kronecker_shape(self):
+        a = mat([[1, 2], [3, 4]])
+        b = mat([[0, 1], [1, 0]])
+        k = a.kronecker(b)
+        assert (k.nrows, k.ncols) == (4, 4)
+
+    def test_kronecker_det(self):
+        """det(A (x) B) = det(A)^n det(B)^m."""
+        a = mat([[1, 2], [3, 4]])
+        b = mat([[2, 1], [1, 1]])
+        k = a.kronecker(b)
+        assert k.determinant() == a.determinant() ** 2 * b.determinant() ** 2
+
+
+@st.composite
+def square_matrices(draw, n=3):
+    rows = [[F(draw(st.integers(-4, 4))) for _ in range(n)]
+            for _ in range(n)]
+    return Matrix(rows)
+
+
+class TestProperties:
+    @given(square_matrices(), square_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_det_multiplicative(self, a, b):
+        assert (a * b).determinant() == a.determinant() * b.determinant()
+
+    @given(square_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_solve_roundtrip(self, m):
+        rhs = [F(1), F(2), F(3)]
+        if m.determinant() == 0:
+            return
+        assert m.apply(m.solve(rhs)) == rhs
+
+    @given(square_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_full_iff_nonsingular(self, m):
+        assert (m.rank() == 3) == (m.determinant() != 0)

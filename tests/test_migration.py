@@ -1,0 +1,140 @@
+"""Appendix B: conditional independence and migrating variables."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.booleans.arithmetize import arithmetize
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import variable_disconnects
+from repro.booleans.migration import (
+    conditionally_independent,
+    conditioned_probability,
+    is_migrating,
+    migrating_variables,
+    rank_one_factorization_exists,
+)
+
+F = Fraction
+HALF = {"default": F(1, 2)}
+
+
+def half(_):
+    return F(1, 2)
+
+
+EXAMPLE_B10 = CNF([
+    ["U", "Z0"],
+    ["Z0", "Z1", "Z2", "Z3"],
+    ["Z3", "X", "Y"],
+    ["X", "Y", "Z4"],
+    ["X", "Z1"],
+    ["Y", "Z2"],
+    ["Z4", "V"],
+])
+
+
+class TestConditionedProbability:
+    def test_simple(self):
+        f = CNF([["a", "b"]])
+        # Pr(a=1 | a v b) = (1/2) / (3/4) = 2/3.
+        assert conditioned_probability(f, half, {"a": True}) == F(2, 3)
+
+    def test_impossible_condition(self):
+        with pytest.raises(ZeroDivisionError):
+            conditioned_probability(CNF.FALSE, half, {"a": True})
+
+    def test_total_probability(self):
+        f = CNF([["a", "b"], ["b", "c"]])
+        p1 = conditioned_probability(f, half, {"b": True})
+        p0 = conditioned_probability(f, half, {"b": False})
+        assert p1 + p0 == 1
+
+
+class TestLemmaB7:
+    """X disconnects U, V  iff  U and V are independent given X in the
+    distribution conditioned on F."""
+
+    def test_disconnecting_variable(self):
+        f = CNF([["u", "x"], ["x", "v"]])
+        assert variable_disconnects(f, "x", {"u"}, {"v"})
+        assert conditionally_independent(f, half, {"u"}, {"v"}, "x")
+
+    def test_non_disconnecting_variable(self):
+        f = CNF([["u", "v"], ["u", "x"], ["x", "v"]])
+        assert not variable_disconnects(f, "x", {"u"}, {"v"})
+        assert not conditionally_independent(f, half, {"u"}, {"v"}, "x")
+
+    def test_example_b10_x(self):
+        assert variable_disconnects(EXAMPLE_B10, "X", {"U"}, {"V"})
+        assert conditionally_independent(EXAMPLE_B10, half,
+                                         {"U"}, {"V"}, "X")
+
+    def test_lemma_b7_equivalence_sweep(self):
+        """Both directions of Lemma B.7 over every variable of a small
+        formula."""
+        f = CNF([["u", "a"], ["a", "b"], ["b", "v"], ["a", "v"]])
+        for var in sorted(f.variables()):
+            if var in ("u", "v"):
+                continue
+            syntactic = variable_disconnects(f, var, {"u"}, {"v"})
+            probabilistic = conditionally_independent(
+                f, half, {"u"}, {"v"}, var)
+            assert syntactic == probabilistic, var
+
+
+class TestMigration:
+    def test_y_migrates_in_b10(self):
+        assert is_migrating(EXAMPLE_B10, "X", "Y", {"U"}, {"V"})
+
+    def test_z0_does_not_migrate(self):
+        assert not is_migrating(EXAMPLE_B10, "X", "Z0", {"U"}, {"V"})
+
+    def test_migrating_set(self):
+        movers = migrating_variables(EXAMPLE_B10, "X", {"U"}, {"V"})
+        assert "Y" in movers
+        assert "Z0" not in movers
+        assert "Z4" not in movers
+
+    def test_requires_disconnecting_x(self):
+        f = CNF([["u", "v", "x", "y"]])
+        with pytest.raises(ValueError):
+            is_migrating(f, "x", "y", {"u"}, {"v"})
+
+    def test_corollary_b12_symmetry(self):
+        """If both X and Y disconnect U, V then migration is symmetric."""
+        f = EXAMPLE_B10
+        both = [v for v in sorted(f.variables())
+                if v not in ("U", "V")
+                and variable_disconnects(f, v, {"U"}, {"V"})]
+        for x in both:
+            for y in both:
+                if x == y:
+                    continue
+                assert is_migrating(f, x, y, {"U"}, {"V"}) == \
+                    is_migrating(f, y, x, {"U"}, {"V"}), (x, y)
+
+
+class TestTheoremB1:
+    def test_rank_one_when_disconnected(self):
+        f = CNF([["u", "x"], ["x", "v"]])
+        ys = {}
+        for a in (0, 1):
+            for b in (0, 1):
+                cond = f.condition("u", bool(a)).condition("v", bool(b))
+                ys[(a, b)] = arithmetize(cond)
+        # x does NOT disconnect u,v here as endpoint substitution —
+        # instead check the arithmetization determinant of the
+        # (u,v)-conditioned family: (u v x)(x v v) conditioned shares x,
+        # so the determinant need not vanish; use a genuinely
+        # disconnected formula instead:
+        g = CNF([["u", "a"], ["v", "b"]])
+        zs = {}
+        for a in (0, 1):
+            for b in (0, 1):
+                cond = g.condition("u", bool(a)).condition("v", bool(b))
+                zs[(a, b)] = arithmetize(cond)
+        assert rank_one_factorization_exists(
+            zs[(0, 0)], zs[(0, 1)], zs[(1, 0)], zs[(1, 1)])
+        assert not rank_one_factorization_exists(
+            ys[(0, 0)], ys[(0, 1)], ys[(1, 0)], ys[(1, 1)])

@@ -1,0 +1,99 @@
+"""The Theorem 2.2 routing driver — repro.reduction.pipeline."""
+
+import pytest
+
+from repro.core import catalog
+from repro.core.final import is_final
+from repro.core.safety import query_type
+from repro.counting.p2cnf import P2CNF
+from repro.reduction.pipeline import hardness_certificate
+from repro.reduction.type1 import Type1Reduction
+
+
+class TestRouting:
+    def test_h0_route(self):
+        cert = hardness_certificate(catalog.h0())
+        assert cert.route == "H0"
+
+    def test_safe_query_rejected(self):
+        with pytest.raises(ValueError):
+            hardness_certificate(catalog.safe_left_only())
+
+    def test_already_final_type1(self):
+        cert = hardness_certificate(catalog.rst_query())
+        assert cert.route == "type1"
+        assert cert.final_query == catalog.rst_query()
+        assert not cert.steps
+
+    def test_non_final_type1(self):
+        cert = hardness_certificate(catalog.intro_example())
+        assert cert.route == "type1"
+        assert is_final(cert.final_query)
+        assert any(s.kind == "rewrite" for s in cert.steps)
+
+    def test_type2_route(self):
+        cert = hardness_certificate(catalog.example_c9())
+        assert cert.route == "type2"
+        assert query_type(cert.final_query) == ("II", "II")
+
+    def test_mixed_type_goes_through_zigzag(self):
+        cert = hardness_certificate(catalog.unsafe_type1_type2())
+        kinds = [s.kind for s in cert.steps]
+        assert "zigzag" in kinds
+        assert cert.route == "type1"  # I-II -> zg -> I-I
+        assert is_final(cert.final_query)
+
+    def test_example_a3_routes(self):
+        cert = hardness_certificate(catalog.example_a3())
+        assert cert.route in ("type1", "type2")
+        assert is_final(cert.final_query)
+
+
+class TestCertificateFeedsReduction:
+    @pytest.mark.parametrize("name,ctor", [
+        ("rst", catalog.rst_query),
+        ("intro", catalog.intro_example),
+        ("fanout", lambda: catalog.path_query(2, fanout=2)),
+    ])
+    def test_type1_certificates_count(self, name, ctor):
+        cert = hardness_certificate(ctor())
+        assert cert.route == "type1"
+        phi = P2CNF(2, ((0, 1),))
+        reduction = Type1Reduction(cert.final_query)
+        assert reduction.run(phi).model_count == 3
+
+    def test_zigzag_certificate_counts(self):
+        """The full Theorem 2.2 chain on a type I-II query: rewrite,
+        zig-zag, re-finalize, then run the Theorem 3.1 reduction on
+        the resulting final I-I query."""
+        cert = hardness_certificate(catalog.unsafe_type1_type2())
+        phi = P2CNF(2, ((0, 1),))
+        reduction = Type1Reduction(cert.final_query)
+        assert reduction.run(phi).model_count == 3
+
+
+class TestCertificateMetadata:
+    def test_length_reported(self):
+        cert = hardness_certificate(catalog.rst_query())
+        assert cert.length == 1
+
+    def test_steps_record_queries(self):
+        cert = hardness_certificate(catalog.unsafe_type1_type2())
+        for step in cert.steps:
+            assert step.query is not None
+            assert step.detail
+
+
+class TestTypeIIOneRoute:
+    def test_type2_type1_routes_via_zigzag(self):
+        from repro.core.catalog import unsafe_type2_type1
+        from repro.core.safety import query_type
+        q = unsafe_type2_type1()
+        assert query_type(q) == ("II", "I")
+        cert = hardness_certificate(q)
+        # zg turns II-I into a type A-A query; the route may end at
+        # either class depending on which final query the rewrites land
+        # on, but a zigzag step must have happened unless rewriting
+        # alone reached a same-type query.
+        assert cert.route in ("type1", "type2")
+        assert is_final(cert.final_query)

@@ -1,0 +1,142 @@
+"""Unit and property tests for repro.algebra.polynomials."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.polynomials import Polynomial
+
+x = Polynomial.variable("x")
+y = Polynomial.variable("y")
+z = Polynomial.variable("z")
+
+
+class TestConstruction:
+    def test_zero_is_zero(self):
+        assert Polynomial.zero().is_zero()
+
+    def test_constant_zero_collapses(self):
+        assert Polynomial.constant(0) == Polynomial.zero()
+
+    def test_one(self):
+        assert Polynomial.one().constant_value() == 1
+
+    def test_variable_degree(self):
+        assert x.degree("x") == 1
+        assert x.degree("y") == 0
+
+    def test_variables(self):
+        assert (x * y + z).variables() == {"x", "y", "z"}
+
+    def test_duplicate_variable_monomial_merges(self):
+        p = Polynomial({(("x", 1), ("x", 1)): Fraction(1)})
+        assert p.degree("x") == 2
+
+    def test_zero_exponent_dropped(self):
+        p = Polynomial({(("x", 0),): Fraction(3)})
+        assert p.is_constant()
+        assert p.constant_value() == 3
+
+
+class TestArithmetic:
+    def test_add_commutative(self):
+        assert x + y == y + x
+
+    def test_mul_distributes(self):
+        assert x * (y + z) == x * y + x * z
+
+    def test_sub_self(self):
+        assert (x - x).is_zero()
+
+    def test_scalar_ops(self):
+        assert 2 * x == x + x
+        assert (x + 1) - 1 == x
+
+    def test_pow(self):
+        assert (x + y) ** 2 == x * x + 2 * x * y + y * y
+
+    def test_pow_zero(self):
+        assert (x + y) ** 0 == Polynomial.one()
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(ValueError):
+            x ** -1
+
+    def test_total_degree(self):
+        assert (x * y * y + z).total_degree() == 3
+        assert Polynomial.zero().total_degree() == 0
+
+
+class TestSubstitution:
+    def test_full_evaluation(self):
+        p = x * y + 2 * z
+        assert p.evaluate({"x": 2, "y": 3, "z": Fraction(1, 2)}) == 7
+
+    def test_partial_substitution(self):
+        p = x * y + y
+        assert p.substitute({"x": 1}) == 2 * y
+
+    def test_substitute_polynomial(self):
+        p = x * x
+        assert p.substitute({"x": y + 1}) == y * y + 2 * y + 1
+
+    def test_rename(self):
+        assert (x * y).rename({"x": "w"}) == Polynomial.variable("w") * y
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            (x + y).evaluate({"x": 1})
+
+    def test_coefficient_of(self):
+        p = 3 * x * x * y + x * z + 5
+        assert p.coefficient_of("x", 2) == 3 * y
+        assert p.coefficient_of("x", 1) == z
+        assert p.coefficient_of("x", 0) == Polynomial.constant(5)
+
+
+@st.composite
+def polynomials(draw, variables=("x", "y", "z"), max_terms=4):
+    n_terms = draw(st.integers(0, max_terms))
+    terms = {}
+    for _ in range(n_terms):
+        mono = tuple(
+            (v, draw(st.integers(1, 2)))
+            for v in variables if draw(st.booleans()))
+        coeff = Fraction(draw(st.integers(-5, 5)))
+        if coeff:
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+    return Polynomial(terms)
+
+
+class TestProperties:
+    @given(polynomials(), polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_add_then_evaluate(self, p, q):
+        point = {v: Fraction(2, 3) for v in (p + q).variables()
+                 | p.variables() | q.variables()}
+        assert (p + q).evaluate(point) == p.evaluate(point) + q.evaluate(point)
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_mul_then_evaluate(self, p, q):
+        point = {v: Fraction(-3, 2) for v in p.variables() | q.variables()}
+        assert (p * q).evaluate(point) == p.evaluate(point) * q.evaluate(point)
+
+    @given(polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_additive_inverse(self, p):
+        assert (p + (-p)).is_zero()
+
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_mul_associative(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @given(polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_hash_consistent_with_eq(self, p):
+        q = Polynomial(p.terms)
+        assert p == q
+        assert hash(p) == hash(q)

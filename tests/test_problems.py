@@ -1,0 +1,118 @@
+"""PQE / GFOMC / FOMC wrappers and the counting correspondence."""
+
+from fractions import Fraction
+from itertools import chain, combinations
+
+import pytest
+
+from repro.core.catalog import h0, rst_query, safe_left_only
+from repro.counting.problems import (
+    fomc,
+    generalized_model_count,
+    gfomc,
+    model_count,
+    pqe,
+)
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+
+F = Fraction
+
+
+def tid_with(probs, U=("u",), V=("v",), default=F(1)):
+    return TID(U, V, probs, default=default)
+
+
+class TestWrappers:
+    def test_pqe_any_probabilities(self):
+        tid = tid_with({r_tuple("u"): F(1, 3),
+                        s_tuple("S1", "u", "v"): F(1, 7),
+                        t_tuple("v"): F(2, 5)})
+        assert 0 <= pqe(rst_query(), tid) <= 1
+
+    def test_gfomc_accepts_half(self):
+        tid = tid_with({r_tuple("u"): F(1, 2),
+                        s_tuple("S1", "u", "v"): F(0),
+                        t_tuple("v"): F(1)})
+        gfomc(rst_query(), tid)
+
+    def test_gfomc_rejects_third(self):
+        tid = tid_with({r_tuple("u"): F(1, 3)})
+        with pytest.raises(ValueError):
+            gfomc(rst_query(), tid)
+
+    def test_fomc_rejects_zero(self):
+        tid = tid_with({r_tuple("u"): F(0)})
+        with pytest.raises(ValueError):
+            fomc(rst_query(), tid)
+
+    def test_fomc_accepts_half_one(self):
+        tid = tid_with({r_tuple("u"): F(1, 2)})
+        fomc(rst_query(), tid)
+
+
+def brute_generalized_count(query, shape, database, certain):
+    """Direct subset enumeration for cross-validation."""
+    from repro.tid.lineage import lineage
+    database = sorted(set(database) - set(certain), key=repr)
+    total = 0
+    for r in range(len(database) + 1):
+        for extra in combinations(database, r):
+            world = set(extra) | set(certain)
+            tid = TID(shape.left_domain, shape.right_domain,
+                      {t: F(1) for t in world}, default=F(0))
+            formula = lineage(query, tid)
+            if formula.is_true():
+                total += 1
+    return total
+
+
+class TestModelCounting:
+    def setup_method(self):
+        self.q = rst_query()
+        self.shape = TID(["u1", "u2"], ["v1"])
+        self.db = [r_tuple("u1"), r_tuple("u2"), t_tuple("v1"),
+                   s_tuple("S1", "u1", "v1"), s_tuple("S1", "u2", "v1")]
+
+    def test_model_count_matches_brute(self):
+        got = model_count(self.q, self.shape, self.db)
+        expected = brute_generalized_count(self.q, self.shape, self.db, [])
+        assert got == expected
+
+    def test_generalized_with_certain_tuples(self):
+        certain = [t_tuple("v1")]
+        got = generalized_model_count(self.q, self.shape, self.db, certain)
+        expected = brute_generalized_count(
+            self.q, self.shape, self.db, certain)
+        assert got == expected
+
+    def test_certain_outside_db_raises(self):
+        with pytest.raises(ValueError):
+            generalized_model_count(self.q, self.shape, self.db,
+                                    [s_tuple("S1", "u1", "v9")])
+
+    def test_all_certain(self):
+        got = generalized_model_count(self.q, self.shape, self.db, self.db)
+        assert got == 1  # the single world DB itself, which satisfies Q
+
+    def test_empty_database(self):
+        """With no tuples, every world is empty; RST holds vacuously
+        only if the lineage is true (here: domain makes it false)."""
+        got = model_count(self.q, self.shape, [])
+        expected = brute_generalized_count(self.q, self.shape, [], [])
+        assert got == expected
+
+    def test_h0_model_count(self):
+        db = [r_tuple("u1"), t_tuple("v1"), s_tuple("S", "u1", "v1")]
+        shape = TID(["u1"], ["v1"])
+        got = model_count(h0(), shape, db)
+        expected = brute_generalized_count(h0(), shape, db, [])
+        assert got == expected
+
+    def test_safe_query_count(self):
+        q = safe_left_only()
+        shape = TID(["u1"], ["v1"])
+        db = [r_tuple("u1"), s_tuple("S1", "u1", "v1"),
+              s_tuple("S2", "u1", "v1"), s_tuple("S3", "u1", "v1")]
+        got = model_count(q, shape, db)
+        expected = brute_generalized_count(q, shape, db, [])
+        assert got == expected

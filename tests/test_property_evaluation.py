@@ -1,0 +1,111 @@
+"""Property tests: evaluation engines agree on random queries and
+random databases (the project's core validation idiom, at scale)."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generate import GeneratorConfig, random_query
+from repro.core.safety import is_safe
+from repro.tid.brute import probability_brute
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.lifted import lifted_probability
+from repro.tid.lineage import lineage
+from repro.tid.wmc import probability
+
+F = Fraction
+
+SMALL = GeneratorConfig(n_symbols=3, max_clauses=3, max_subclauses=2)
+
+
+def build_tid(query, seed, n_left=2, n_right=1,
+              values=(F(0), F(1, 4), F(1, 2), F(1))):
+    rng = random.Random(seed)
+    U = [f"u{i}" for i in range(n_left)]
+    V = [f"v{j}" for j in range(n_right)]
+    probs = {}
+    for u in U:
+        probs[r_tuple(u)] = rng.choice(values)
+    for v in V:
+        probs[t_tuple(v)] = rng.choice(values)
+    for s in sorted(query.binary_symbols):
+        for u in U:
+            for v in V:
+                probs[s_tuple(s, u, v)] = rng.choice(values)
+    return TID(U, V, probs)
+
+
+class TestEngineAgreement:
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_wmc_equals_brute(self, query_seed, tid_seed):
+        query = random_query(query_seed, SMALL)
+        tid = build_tid(query, tid_seed)
+        assert probability(query, tid) == probability_brute(query, tid)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_lifted_on_safe(self, query_seed, tid_seed):
+        query = random_query(query_seed, SMALL)
+        if not is_safe(query):
+            return
+        tid = build_tid(query, tid_seed)
+        assert lifted_probability(query, tid) == probability(query, tid)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_monotonicity_in_probabilities(self, query_seed):
+        """Raising any tuple's probability cannot lower Pr(Q)
+        (monotone queries)."""
+        query = random_query(query_seed, SMALL)
+        tid = build_tid(query, query_seed,
+                        values=(F(1, 4), F(1, 2)))
+        base = probability(query, tid)
+        for token in list(tid.probs)[:4]:
+            bumped = tid.with_probability(
+                token, tid.probability(token) + F(1, 4))
+            assert probability(query, bumped) >= base
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_certain_world_is_model_check(self, query_seed):
+        """With all probabilities in {0,1}, Pr(Q) is 0/1 and equals a
+        direct model check of the lineage."""
+        query = random_query(query_seed, SMALL)
+        tid = build_tid(query, query_seed, values=(F(0), F(1)))
+        value = probability(query, tid)
+        assert value in (F(0), F(1))
+        formula = lineage(query, tid)
+        assert value == (F(1) if formula.is_true() else F(0))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_probability_bounds(self, query_seed):
+        query = random_query(query_seed, SMALL)
+        tid = build_tid(query, query_seed + 1)
+        assert 0 <= probability(query, tid) <= 1
+
+
+class TestLineageProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_lineage_vars_are_uncertain_tuples(self, query_seed):
+        query = random_query(query_seed, SMALL)
+        tid = build_tid(query, query_seed)
+        formula = lineage(query, tid)
+        uncertain = set(tid.uncertain_tuples())
+        assert formula.variables() <= uncertain
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction_of_clause_lineages(self, query_seed):
+        """Pr(Q) <= Pr(any single clause's lineage)."""
+        from repro.core.queries import Query
+        query = random_query(query_seed, SMALL)
+        tid = build_tid(query, query_seed + 5)
+        full = probability(query, tid)
+        for clause in query.clauses:
+            single = probability(Query([clause]), tid)
+            assert single >= full

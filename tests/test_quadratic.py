@@ -1,0 +1,125 @@
+"""Exact arithmetic in Q(sqrt(d)) — repro.algebra.quadratic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.quadratic import QuadraticNumber
+
+F = Fraction
+
+
+def q(a, b=0, d=2):
+    return QuadraticNumber(F(a), F(b), F(d))
+
+
+class TestBasics:
+    def test_rational_folding(self):
+        """sqrt(4) folds into the rational part."""
+        n = QuadraticNumber(1, 1, 4)
+        assert n.is_rational()
+        assert n.to_fraction() == 3
+
+    def test_sqrt_constructor(self):
+        r = QuadraticNumber.sqrt(2)
+        assert r * r == QuadraticNumber(2)
+
+    def test_negative_radicand_raises(self):
+        with pytest.raises(ValueError):
+            QuadraticNumber(0, 1, -1)
+
+    def test_float_conversion(self):
+        assert abs(float(q(1, 1)) - (1 + 2 ** 0.5)) < 1e-12
+
+    def test_irrational_to_fraction_raises(self):
+        with pytest.raises(ValueError):
+            q(0, 1).to_fraction()
+
+    def test_conjugate(self):
+        n = q(3, 2)
+        assert n + n.conjugate() == QuadraticNumber(6)
+        assert n * n.conjugate() == QuadraticNumber(9 - 4 * 2)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert q(1, 1) + q(2, 3) == q(3, 4)
+
+    def test_mul(self):
+        # (1 + sqrt2)(1 - sqrt2) = -1
+        assert q(1, 1) * q(1, -1) == QuadraticNumber(-1)
+
+    def test_div(self):
+        n = q(3, 5)
+        assert n / n == QuadraticNumber(1)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            q(1, 1) / QuadraticNumber(0)
+
+    def test_pow(self):
+        golden_like = q(1, 1)
+        assert golden_like ** 2 == q(3, 2)
+        assert golden_like ** 0 == QuadraticNumber(1)
+
+    def test_negative_pow(self):
+        n = q(1, 1)
+        assert n ** -1 * n == QuadraticNumber(1)
+
+    def test_mixed_with_fraction(self):
+        assert q(1, 1) + F(1, 2) == q(F(3, 2), 1)
+        assert 2 * q(1, 1) == q(2, 2)
+
+    def test_incompatible_radicands(self):
+        with pytest.raises(ValueError):
+            q(1, 1, 2) + q(1, 1, 3)
+
+
+class TestComparisons:
+    def test_sign_mixed(self):
+        # 3 - 2*sqrt(2) = 0.17... > 0 ; 2 - 2*sqrt(2) < 0
+        assert q(3, -2).sign() == 1
+        assert q(2, -2).sign() == -1
+
+    def test_sign_zero(self):
+        assert (q(1, 1) - q(1, 1)).sign() == 0
+
+    def test_ordering(self):
+        assert q(0, 1) > 1         # sqrt 2 > 1
+        assert q(0, 1) < F(3, 2)   # sqrt 2 < 1.5
+        assert q(0, 1) >= q(0, 1)
+
+    def test_eq_against_rational(self):
+        assert QuadraticNumber(3) == 3
+        assert q(0, 1) != 1
+
+
+class TestProperties:
+    values = st.tuples(st.integers(-5, 5), st.integers(-5, 5)).map(
+        lambda t: q(t[0], t[1]))
+
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_mul_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(values, values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_distributive(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(values)
+    @settings(max_examples=60, deadline=None)
+    def test_sign_matches_float(self, a):
+        f = float(a)
+        if abs(f) > 1e-9:
+            assert a.sign() == (1 if f > 0 else -1)
+
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_division_roundtrip(self, a, b):
+        if b.sign() == 0:
+            return
+        assert (a / b) * b == a

@@ -1,0 +1,126 @@
+"""Query construction, minimization and rewriting (Lemma 2.7)."""
+
+import pytest
+
+from repro.core.clauses import Clause
+from repro.core.queries import Query, query
+from repro.core.safety import is_unsafe, query_length, query_type
+
+
+class TestConstruction:
+    def test_true_false(self):
+        assert Query.TRUE.is_true()
+        assert Query.FALSE.is_false()
+        assert not Query.TRUE.is_false()
+
+    def test_minimization_on_build(self):
+        q = query(Clause.middle("S1"), Clause.middle("S1", "S2"))
+        assert q.clauses == (Clause.middle("S1"),)
+
+    def test_symbols(self):
+        q = query(Clause.left_type1("S1"), Clause.right_type1("S2"))
+        assert q.symbols == {"R", "S1", "S2", "T"}
+        assert q.binary_symbols == {"S1", "S2"}
+
+    def test_side_accessors(self):
+        q = query(Clause.left_type1("S1"), Clause.middle("S1", "S2"),
+                  Clause.right_type1("S2"))
+        assert len(q.left_clauses) == 1
+        assert len(q.middle_clauses) == 1
+        assert len(q.right_clauses) == 1
+        assert not q.full_clauses
+
+    def test_equality_order_independent(self):
+        a = query(Clause.middle("S1"), Clause.middle("S2"))
+        b = query(Clause.middle("S2"), Clause.middle("S1"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_conjoin(self):
+        a = query(Clause.middle("S1"))
+        b = query(Clause.middle("S2"))
+        assert (a & b).clauses == query(
+            Clause.middle("S1"), Clause.middle("S2")).clauses
+
+    def test_conjoin_false(self):
+        assert (Query.FALSE & query(Clause.middle("S1"))).is_false()
+
+
+class TestRewriting:
+    def setup_method(self):
+        self.q = query(Clause.left_type1("S1"),
+                       Clause.middle("S1", "S2"),
+                       Clause.right_type1("S2"))
+
+    def test_set_true_removes_clauses(self):
+        q1 = self.q.set_symbol("S1", True)
+        assert q1 == query(Clause.right_type1("S2"))
+
+    def test_set_false_simplifies(self):
+        q0 = self.q.set_symbol("S2", False)
+        # (R v S1) & S1 & T: the left clause is absorbed by S1.
+        assert q0 == query(Clause.middle("S1"), Clause.unary_only("T"))
+
+    def test_symbol_disappears(self):
+        for value in (False, True):
+            assert "S1" not in self.q.set_symbol("S1", value).symbols
+
+    def test_rewrite_to_false(self):
+        q = query(Clause.middle("S1"))
+        assert q.set_symbol("S1", False).is_false()
+
+    def test_rewrite_to_true(self):
+        q = query(Clause.middle("S1"))
+        assert q.set_symbol("S1", True).is_true()
+
+    def test_set_symbols_chain(self):
+        q = self.q.set_symbols({"S1": True, "S2": True})
+        assert q.is_true()
+
+    def test_lemma27_types_preserved(self):
+        """Lemma 2.7 (2): rewriting preserves the type."""
+        q = query(Clause.left_type2(["S1"], ["S2"]),
+                  Clause.middle("S1", "S3"),
+                  Clause.right_type2(["S3"], ["S4"]))
+        assert query_type(q) == ("II", "II")
+        q0 = q.set_symbol("S4", False)
+        # The right Type-II clause degenerates to a middle clause, but
+        # the surviving left clause keeps its type.
+        assert query_type(q0)[0] == "II"
+
+    def test_lemma27_unsafe_propagates_up(self):
+        """Lemma 2.7 (3): if Q[S:=v] is unsafe then Q is unsafe."""
+        q = query(Clause.left_type1("S1", "S9"),
+                  Clause.middle("S1", "S2"),
+                  Clause.right_type1("S2"))
+        q0 = q.set_symbol("S9", False)
+        assert is_unsafe(q0)
+        assert is_unsafe(q)
+
+    def test_lemma27_length_nondecreasing(self):
+        q = query(Clause.left_type1("S1"),
+                  Clause.middle("S1", "S2"),
+                  Clause.middle("S2", "S3"),
+                  Clause.right_type1("S3"))
+        length = query_length(q)
+        for symbol in sorted(q.symbols):
+            for value in (False, True):
+                rewritten = q.set_symbol(symbol, value)
+                new_len = query_length(rewritten)
+                if new_len is not None:
+                    assert new_len >= length
+
+    def test_rename_binary(self):
+        q = query(Clause.middle("S1"))
+        renamed = q.rename_binary({"S1": "W"})
+        assert renamed == query(Clause.middle("W"))
+
+    def test_constant_rewrites_are_fixed(self):
+        assert Query.TRUE.set_symbol("S1", False).is_true()
+        assert Query.FALSE.set_symbol("S1", True).is_false()
+
+
+class TestRepr:
+    def test_repr_stable(self):
+        q = query(Clause.left_type1("S1"), Clause.right_type1("S1"))
+        assert "left" in repr(q) and "right" in repr(q)

@@ -1,0 +1,91 @@
+"""The safety dichotomy criterion (Definition 2.4) and query types."""
+
+from repro.core import catalog
+from repro.core.clauses import Clause
+from repro.core.queries import Query, query
+from repro.core.safety import (
+    connected_components,
+    is_connected,
+    is_safe,
+    is_unsafe,
+    query_length,
+    query_type,
+)
+
+
+class TestCensus:
+    def test_catalog_expectations(self):
+        for name, ctor, expect_unsafe in catalog.CENSUS:
+            assert is_unsafe(ctor()) == expect_unsafe, name
+
+    def test_lengths(self):
+        assert query_length(catalog.h0()) == 0
+        assert query_length(catalog.rst_query()) == 1
+        assert query_length(catalog.path_query(2)) == 2
+        assert query_length(catalog.path_query(5)) == 5
+        assert query_length(catalog.safe_left_only()) is None
+
+    def test_types(self):
+        assert query_type(catalog.rst_query()) == ("I", "I")
+        assert query_type(catalog.unsafe_type1_type2()) == ("I", "II")
+        assert query_type(catalog.example_c9()) == ("II", "II")
+        assert query_type(catalog.h0()) is None
+        assert query_type(Query.TRUE) is None
+
+
+class TestDefinition24:
+    def test_no_right_clauses_safe(self):
+        q = query(Clause.left_type1("S1"), Clause.middle("S1", "S2"))
+        assert is_safe(q)
+
+    def test_no_left_clauses_safe(self):
+        q = query(Clause.middle("S1", "S2"), Clause.right_type1("S2"))
+        assert is_safe(q)
+
+    def test_disconnected_left_right_safe(self):
+        assert is_safe(catalog.safe_disconnected())
+
+    def test_direct_connection_length1(self):
+        q = query(Clause.left_type1("S1"), Clause.right_type1("S1"))
+        assert query_length(q) == 1
+
+    def test_full_clause_no_binaries_safe(self):
+        """R(x) v T(y) is (forall x R) v (forall y T): PTIME."""
+        q = Query([Clause("full", {"R", "T"}, [])])
+        assert is_safe(q)
+
+    def test_unary_only_clause_safe(self):
+        q = query(Clause.unary_only("R"), Clause.middle("S1"))
+        assert is_safe(q)
+
+    def test_long_chain(self):
+        q = catalog.path_query(7)
+        assert query_length(q) == 7
+        assert is_unsafe(q)
+
+    def test_constants_safe(self):
+        assert is_safe(Query.TRUE)
+        assert is_safe(Query.FALSE)
+
+
+class TestComponents:
+    def test_connected_query(self):
+        assert is_connected(catalog.rst_query())
+
+    def test_disconnected_split(self):
+        parts = connected_components(catalog.safe_disconnected())
+        assert len(parts) == 2
+        symbol_sets = [p.symbols for p in parts]
+        assert not (symbol_sets[0] & symbol_sets[1])
+
+    def test_components_cover(self):
+        q = catalog.safe_disconnected()
+        parts = connected_components(q)
+        all_clauses = {c for p in parts for c in p.clauses}
+        assert all_clauses == set(q.clauses)
+
+    def test_final_queries_connected(self):
+        """Every final query is connected (Section 2)."""
+        for q in (catalog.rst_query(), catalog.path_query(3),
+                  catalog.wide_final_query(), catalog.example_c9()):
+            assert is_connected(q)

@@ -1,0 +1,96 @@
+"""Example C.14: the shattering reduction, executed.
+
+Example C.9's query Q is final but not forbidden; Example C.14 shows
+how to *shatter* it: the Type-II disjunct forall-y S2(x, y) is traded
+for a unary symbol R by adding one fresh right constant b1 where S2 is
+the only uncertain symbol.  The constructed database satisfies
+Pr_Delta(Q) = Pr_Delta'(Q'), giving GFOMC_bi(Q') <= GFOMC_bi(Q) with Q'
+of Type I-II.  We execute the construction and verify the probability
+equality exactly.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.catalog import example_c9
+from repro.core.clauses import Clause
+from repro.core.queries import Query
+from repro.core.safety import is_unsafe, query_type
+from repro.tid.database import TID, r_tuple, s_tuple
+from repro.tid.wmc import probability
+
+F = Fraction
+GFOMC_VALUES = [F(0), F(1, 2), F(1)]
+
+
+def q_prime() -> Query:
+    """Q' = forall x,y (R(x) v S1) & (S1 v S3) & forall y (Ax.S3 v Ax.S4)."""
+    return Query([
+        Clause.left_type1("S1"),
+        Clause.middle("S1", "S3"),
+        Clause.right_type2(["S3"], ["S4"]),
+    ])
+
+
+def shatter_database(delta_prime: TID) -> TID:
+    """The Example C.14 mapping: Delta for Q from Delta' for Q'."""
+    b1 = "b1_fresh"
+    left = list(delta_prime.left_domain)
+    right = list(delta_prime.right_domain) + [b1]
+    probs = {}
+    for a in left:
+        # S2(a, b1) carries the R(a) probability; S2 certain elsewhere.
+        probs[s_tuple("S2", a, b1)] = delta_prime.probability(r_tuple(a))
+        for b in delta_prime.right_domain:
+            probs[s_tuple("S2", a, b)] = F(1)
+        # S1, S3, S4 are certain at b1 and carried over elsewhere.
+        for symbol in ("S1", "S3", "S4"):
+            probs[s_tuple(symbol, a, b1)] = F(1)
+            for b in delta_prime.right_domain:
+                probs[s_tuple(symbol, a, b)] = delta_prime.probability(
+                    s_tuple(symbol, a, b))
+    return TID(left, right, probs, default=F(1))
+
+
+def random_delta_prime(seed, n_left=2, n_right=2):
+    rng = random.Random(seed)
+    U = [f"a{i}" for i in range(n_left)]
+    V = [f"b{j}" for j in range(n_right)]
+    probs = {}
+    for u in U:
+        probs[r_tuple(u)] = rng.choice(GFOMC_VALUES)
+    for symbol in ("S1", "S3", "S4"):
+        for u in U:
+            for v in V:
+                probs[s_tuple(symbol, u, v)] = rng.choice(GFOMC_VALUES)
+    return TID(U, V, probs, default=F(1))
+
+
+class TestExampleC14:
+    def test_q_prime_classification(self):
+        qp = q_prime()
+        assert is_unsafe(qp)
+        assert query_type(qp) == ("I", "II")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_probability_equality(self, seed):
+        delta_prime = random_delta_prime(seed)
+        delta = shatter_database(delta_prime)
+        lhs = probability(example_c9(), delta)
+        rhs = probability(q_prime(), delta_prime)
+        assert lhs == rhs
+
+    def test_asymmetric_domain(self):
+        delta_prime = random_delta_prime(99, n_left=1, n_right=3)
+        delta = shatter_database(delta_prime)
+        assert probability(example_c9(), delta) == \
+            probability(q_prime(), delta_prime)
+
+    def test_probability_values_preserved(self):
+        """The mapping keeps probabilities inside {0, 1/2, 1}: it is a
+        GFOMC-to-GFOMC reduction."""
+        delta_prime = random_delta_prime(3)
+        delta = shatter_database(delta_prime)
+        assert delta.probability_values() <= {F(0), F(1, 2), F(1)}

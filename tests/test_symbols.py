@@ -1,0 +1,41 @@
+"""Vocabulary objects — repro.core.symbols."""
+
+import pytest
+
+from repro.core.symbols import (
+    LEFT_UNARY,
+    RIGHT_UNARY,
+    UNARY_SYMBOLS,
+    Vocabulary,
+)
+
+
+class TestConstants:
+    def test_names(self):
+        assert LEFT_UNARY == "R"
+        assert RIGHT_UNARY == "T"
+        assert UNARY_SYMBOLS == {"R", "T"}
+
+
+class TestVocabulary:
+    def test_symbols(self):
+        v = Vocabulary(True, True, ("S1", "S2"))
+        assert v.symbols == {"R", "T", "S1", "S2"}
+
+    def test_no_unaries(self):
+        v = Vocabulary(False, False, ("S1",))
+        assert v.symbols == {"S1"}
+
+    def test_contains(self):
+        v = Vocabulary(True, False, ("S1",))
+        assert "R" in v
+        assert "T" not in v
+        assert "S1" in v
+
+    def test_duplicate_binary_raises(self):
+        with pytest.raises(ValueError):
+            Vocabulary(True, True, ("S1", "S1"))
+
+    def test_reserved_names_raise(self):
+        with pytest.raises(ValueError):
+            Vocabulary(True, True, ("R",))

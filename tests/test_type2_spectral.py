@@ -1,0 +1,118 @@
+"""The Type-II link matrix and eigenvalue conditions (Section C.8)."""
+
+from fractions import Fraction
+
+from repro.core.catalog import example_c15
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import clause_components
+from repro.reduction.type2_blocks import type2_block
+from repro.reduction.type2_spectral import (
+    articulation_disconnects,
+    articulation_symbols,
+    link_matrix_type2,
+    theorem_c33_conditions,
+)
+from repro.tid.database import s_tuple
+from repro.tid.lineage import lineage
+from repro.tid.wmc import cnf_probability
+
+F = Fraction
+
+
+class TestArticulationSymbols:
+    def test_final_query_all_symbols(self):
+        """For a final query every symbol's rewritings are safe."""
+        q = example_c15()
+        assert articulation_symbols(q) == sorted(q.binary_symbols)
+
+    def test_ubiquitous_symbols_disconnect(self):
+        q = example_c15()
+        assert articulation_disconnects(q, "U")
+        assert articulation_disconnects(q, "V")
+
+    def test_short_query_middle_symbols_do_not(self):
+        """C.15 has length 2 < 5: the middle-clause symbols do not
+        disconnect — exactly why Theorem 2.9(2) asks for length >= 5
+        (obtained in the paper by iterating zg)."""
+        q = example_c15()
+        assert not articulation_disconnects(q, "S1")
+
+
+class TestEq75Factorization:
+    def test_conditioning_splits_into_three_factors(self):
+        """Conditioning the articulation tuples U(r0,t0), U(r1,t1)
+        splits the block lineage into independent prefix / middle /
+        suffix factors whose probabilities multiply (Eq. 74-75)."""
+        q = example_c15()
+        block = type2_block(q, p=1)
+        formula = lineage(q, block)
+        s0 = s_tuple("U", "r0", "t0")
+        s1 = s_tuple("U", "r1", "t1")
+        for a in (False, True):
+            for b in (False, True):
+                conditioned = formula.condition(s0, a).condition(s1, b)
+                total = cnf_probability(conditioned, block.probability)
+                product = F(1)
+                for group in clause_components(conditioned):
+                    product *= cnf_probability(CNF(group),
+                                               block.probability)
+                assert total == product
+
+
+class TestLinkMatrix:
+    def test_entries_positive_c32(self):
+        z = link_matrix_type2(example_c15(), "U")
+        for i in range(2):
+            for j in range(2):
+                assert 0 < z[i, j] <= 1
+
+    def test_not_symmetric_in_general(self):
+        """Type-II blocks need not be symmetric (Appendix C intro)."""
+        z = link_matrix_type2(example_c15(), "U")
+        # Symmetry may or may not hold; just assert the matrix is a
+        # valid probability matrix and record asymmetry is tolerated.
+        assert z.nrows == z.ncols == 2
+
+    def test_theorem_c33(self):
+        z = link_matrix_type2(example_c15(), "U")
+        conditions = theorem_c33_conditions(z)
+        assert conditions["c32_entries_positive"]
+        assert conditions["c33_eigenvalues"]
+
+    def test_assignment_changes_matrix(self):
+        q = example_c15()
+        base = link_matrix_type2(q, "U")
+        token = s_tuple("S1", "r1", "t0")
+        pinned = link_matrix_type2(q, "U", assignment={token: F(1)})
+        assert base != pinned
+
+    def test_degenerate_matrix_fails_conditions(self):
+        from repro.algebra.matrices import Matrix
+        z = Matrix([[F(1, 2), F(1, 2)], [F(1, 2), F(1, 2)]])
+        conditions = theorem_c33_conditions(z)
+        assert conditions["c32_entries_positive"]
+        assert not conditions["c33_eigenvalues"]  # lambda1 = 0
+
+
+class TestEq79ExponentialForm:
+    """y(p) follows the two-eigenvalue exponential law (Eq. 79),
+    verified through its exact linear recurrence."""
+
+    def test_recurrence_c15(self):
+        from repro.reduction.type2_spectral import verify_exponential_form
+        q = example_c15()
+        assert verify_exponential_form(
+            q, "U", frozenset({0}), frozenset({0}), p_max=4)
+
+    def test_recurrence_other_lattice_pair(self):
+        from repro.reduction.type2_spectral import verify_exponential_form
+        q = example_c15()
+        assert verify_exponential_form(
+            q, "U", frozenset({0, 1}), frozenset({1}), p_max=3)
+
+    def test_y_sequence_monotone_decreasing(self):
+        from repro.reduction.type2_spectral import y_sequence
+        q = example_c15()
+        ys = y_sequence(q, frozenset({0}), frozenset({0}), 3)
+        assert all(ys[i] > ys[i + 1] for i in range(3))
+        assert all(0 < y < 1 for y in ys)

@@ -1,0 +1,58 @@
+"""Lemma 3.7 machinery: Vandermonde and Kronecker structure."""
+
+from fractions import Fraction
+
+from repro.algebra.vandermonde import (
+    kronecker_of_vandermondes,
+    monomial_evaluation_matrix,
+    vandermonde,
+)
+
+F = Fraction
+
+
+class TestVandermonde:
+    def test_square_nonsingular(self):
+        vm = vandermonde([F(1), F(2), F(3)])
+        assert not vm.is_singular()
+
+    def test_duplicate_points_singular(self):
+        vm = vandermonde([F(1), F(1), F(2)])
+        assert vm.is_singular()
+
+    def test_rectangular(self):
+        vm = vandermonde([F(1), F(2)], degree=3)
+        assert (vm.nrows, vm.ncols) == (2, 4)
+
+    def test_entries(self):
+        vm = vandermonde([F(2)], degree=2)
+        assert vm.rows[0] == (F(1), F(2), F(4))
+
+
+class TestLemma37:
+    def test_evaluation_matrix_equals_kronecker(self):
+        """The proof of Lemma 3.7: the grid-evaluation matrix of the
+        monomials y1^k1 y2^k2 IS the Kronecker product of per-coordinate
+        Vandermonde matrices."""
+        grids = [[F(1), F(2), F(3)], [F(1), F(4), F(5)]]
+        m = 2
+        eval_matrix = monomial_evaluation_matrix(grids, m)
+        kron = kronecker_of_vandermondes(grids, m)
+        assert eval_matrix == kron
+
+    def test_nonsingular_on_distinct_grids(self):
+        """Lemma 3.7's conclusion: monomials are linearly independent
+        because the evaluation matrix is non-singular."""
+        grids = [[F(1), F(2), F(3)], [F(5), F(6), F(7)]]
+        assert not monomial_evaluation_matrix(grids, 2).is_singular()
+
+    def test_three_coordinates(self):
+        grids = [[F(1), F(2)], [F(3), F(4)], [F(5), F(6)]]
+        m = 1
+        assert monomial_evaluation_matrix(grids, m) == \
+            kronecker_of_vandermondes(grids, m)
+        assert not monomial_evaluation_matrix(grids, m).is_singular()
+
+    def test_degenerate_grid_singular(self):
+        grids = [[F(1), F(1), F(2)], [F(1), F(2), F(3)]]
+        assert monomial_evaluation_matrix(grids, 2).is_singular()

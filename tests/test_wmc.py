@@ -1,0 +1,103 @@
+"""The exact WMC engine vs brute-force enumeration."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans.cnf import CNF
+from repro.tid.brute import cnf_probability_brute, count_models
+from repro.tid.wmc import cnf_probability
+
+F = Fraction
+
+
+class TestBasics:
+    def test_true(self):
+        assert cnf_probability(CNF.TRUE, {}) == 1
+
+    def test_false(self):
+        assert cnf_probability(CNF.FALSE, {}) == 0
+
+    def test_single_var(self):
+        assert cnf_probability(CNF([["a"]]), {"a": F(1, 3)}) == F(1, 3)
+
+    def test_or(self):
+        f = CNF([["a", "b"]])
+        assert cnf_probability(f, {"a": F(1, 2), "b": F(1, 2)}) == F(3, 4)
+
+    def test_and(self):
+        f = CNF([["a"], ["b"]])
+        assert cnf_probability(f, {"a": F(1, 2), "b": F(1, 3)}) == F(1, 6)
+
+    def test_default_half(self):
+        f = CNF([["a", "b"], ["b", "c"]])
+        assert cnf_probability(f) == cnf_probability_brute(f)
+
+    def test_callable_prob(self):
+        f = CNF([["a"], ["b"]])
+        assert cnf_probability(f, lambda v: F(1, 4)) == F(1, 16)
+
+    def test_zero_probability_var(self):
+        f = CNF([["a"], ["a", "b"]])
+        assert cnf_probability(f, {"a": F(0), "b": F(1, 2)}) == 0
+
+    def test_certain_variable(self):
+        f = CNF([["a", "b"]])
+        assert cnf_probability(f, {"a": F(1), "b": F(1, 2)}) == 1
+
+    def test_paper_example(self):
+        """(R v S)(S v T) at 1/2 everywhere = 5/8 (Section 1.6)."""
+        f = CNF([["r", "s"], ["s", "t"]])
+        assert cnf_probability(f) == F(5, 8)
+
+
+class TestCountModels:
+    def test_count_or(self):
+        assert count_models(CNF([["a", "b"]])) == 3
+
+    def test_count_with_extra_vars(self):
+        assert count_models(CNF([["a"]]), variables=["a", "b"]) == 2
+
+
+@st.composite
+def weighted_cnfs(draw):
+    variables = ["a", "b", "c", "d", "e"]
+    clauses = []
+    for _ in range(draw(st.integers(1, 5))):
+        clause = [v for v in variables if draw(st.booleans())]
+        if clause:
+            clauses.append(clause)
+    probs = {v: F(draw(st.integers(0, 4)), 4) for v in variables}
+    return CNF(clauses), probs
+
+
+class TestAgainstBrute:
+    @given(weighted_cnfs())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute(self, case):
+        formula, probs = case
+        assert cnf_probability(formula, probs) == \
+            cnf_probability_brute(formula, probs)
+
+    @given(weighted_cnfs())
+    @settings(max_examples=60, deadline=None)
+    def test_complement_rule(self, case):
+        """Pr(F) + Pr over worlds violating F = 1 (sanity on the
+        engine's normalization)."""
+        formula, probs = case
+        p = cnf_probability(formula, probs)
+        assert 0 <= p <= 1
+
+    @given(weighted_cnfs(), weighted_cnfs())
+    @settings(max_examples=40, deadline=None)
+    def test_independent_product(self, case1, case2):
+        """Formulas over disjoint variables multiply."""
+        f1, p1 = case1
+        f2, _ = case2
+        f2 = f2.rename({v: v.upper() for v in "abcde"})
+        p2 = {v.upper(): q for v, q in case2[1].items()}
+        joint = f1 & f2
+        probs = {**p1, **p2}
+        assert cnf_probability(joint, probs) == \
+            cnf_probability(f1, p1) * cnf_probability(f2, p2)

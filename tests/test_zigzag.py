@@ -1,0 +1,144 @@
+"""The zig-zag rewriting zg(Q) (Appendix A, Lemma 2.6, Lemma A.1;
+experiments E10, F2)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import catalog
+from repro.core.safety import is_unsafe, query_length, query_type
+from repro.reduction.zigzag import (
+    branch_width,
+    zigzag_database,
+    zigzag_query,
+    zigzag_vocabulary,
+)
+from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.wmc import probability
+
+F = Fraction
+GFOMC = [F(0), F(1, 2), F(1)]
+
+
+def random_delta(query, U, V, seed, values=GFOMC):
+    """A random bipartite database over zg(R) for zg(Q)."""
+    rng = random.Random(seed)
+    zq = zigzag_query(query)
+    probs = {}
+    has_r = any("R" in c.unaries for c in zq.clauses)
+    has_t = any("T" in c.unaries for c in zq.clauses)
+    for u in U:
+        if has_r:
+            probs[r_tuple(u)] = rng.choice(values)
+    for v in V:
+        if has_t:
+            probs[t_tuple(v)] = rng.choice(values)
+    for symbol in sorted(zq.binary_symbols):
+        for u in U:
+            for v in V:
+                probs[s_tuple(symbol, u, v)] = rng.choice(values)
+    return TID(U, V, probs, default=F(1))
+
+
+class TestBranchWidth:
+    def test_right_type1_gives_2(self):
+        assert branch_width(catalog.rst_query()) == 2
+
+    def test_right_type2_gives_at_least_3(self):
+        assert branch_width(catalog.example_c9()) == 3
+
+    def test_wide_right_clause(self):
+        assert branch_width(catalog.example_a3()) == 3
+
+    def test_h0_rejected(self):
+        with pytest.raises(ValueError):
+            branch_width(catalog.h0())
+
+
+class TestVocabulary:
+    def test_rst_vocabulary(self):
+        vocab = zigzag_vocabulary(catalog.rst_query())
+        assert vocab["n"] == 2
+        assert vocab["has_left_unary"] and vocab["has_right_unary"]
+        assert vocab["binary_copies"]["S1"] == ("S1^(1)", "S1^(2)")
+        assert vocab["r_middle_copies"] == ()  # n = 2: no binary R copies
+        assert vocab["t_copy"] == "T^(12)"
+
+    def test_type2_vocabulary(self):
+        vocab = zigzag_vocabulary(catalog.example_c9())
+        assert vocab["n"] == 3
+        assert not vocab["has_left_unary"]
+        assert vocab["t_copy"] is None
+
+
+class TestZigzagQueryShape:
+    def test_type_i_i_stays_i_i(self):
+        zq = zigzag_query(catalog.rst_query())
+        assert query_type(zq) == ("I", "I")
+
+    def test_type_i_ii_becomes_i_i(self):
+        zq = zigzag_query(catalog.unsafe_type1_type2())
+        assert query_type(zq) == ("I", "I")
+
+    def test_type_ii_ii_stays_ii_ii(self):
+        zq = zigzag_query(catalog.example_c9())
+        assert query_type(zq) == ("II", "II")
+
+    @pytest.mark.parametrize("q,k", [
+        (catalog.rst_query(), 1),
+        (catalog.path_query(2), 2),
+        (catalog.unsafe_type1_type2(), 2),
+        (catalog.example_c9(), 2),
+    ])
+    def test_unsafe_and_length_doubles(self, q, k):
+        """Lemma 2.6 / A.2: zg(Q) is unsafe with length >= 2k."""
+        assert query_length(q) == k
+        zq = zigzag_query(q)
+        assert is_unsafe(zq)
+        assert query_length(zq) >= 2 * k
+
+
+class TestLemmaA1:
+    """Pr_Delta(zg(Q)) = Pr_{zg(Delta)}(Q) with identical probability
+    values."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rst(self, seed):
+        q = catalog.rst_query()
+        delta = random_delta(q, ["a"], ["b"], seed)
+        lhs = probability(zigzag_query(q), delta)
+        rhs = probability(q, zigzag_database(q, delta))
+        assert lhs == rhs
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_type1_type2(self, seed):
+        q = catalog.unsafe_type1_type2()
+        delta = random_delta(q, ["a"], ["b"], seed + 10)
+        lhs = probability(zigzag_query(q), delta)
+        rhs = probability(q, zigzag_database(q, delta))
+        assert lhs == rhs
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_type2_type2(self, seed):
+        q = catalog.example_c9()
+        delta = random_delta(q, ["a"], ["b"], seed + 20)
+        lhs = probability(zigzag_query(q), delta)
+        rhs = probability(q, zigzag_database(q, delta))
+        assert lhs == rhs
+
+    def test_two_by_one_domain(self):
+        q = catalog.rst_query()
+        delta = random_delta(q, ["a1", "a2"], ["b"], 99)
+        lhs = probability(zigzag_query(q), delta)
+        rhs = probability(q, zigzag_database(q, delta))
+        assert lhs == rhs
+
+    def test_probability_values_preserved(self):
+        """zg(Delta) uses exactly the probability values of Delta
+        (plus certain tuples) — the reduction maps GFOMC to GFOMC."""
+        q = catalog.rst_query()
+        delta = random_delta(q, ["a"], ["b"], 3)
+        mapped = zigzag_database(q, delta)
+        assert mapped.probability_values() <= \
+            delta.probability_values() | {F(1)}

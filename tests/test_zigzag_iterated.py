@@ -1,0 +1,62 @@
+"""Iterated zig-zag chains (the proof of Theorem 2.2 applies Lemma 2.6
+up to three times to reach type A-A queries of length >= 8)."""
+
+import pytest
+
+from repro.core import catalog
+from repro.core.final import find_final, is_final
+from repro.core.safety import is_unsafe, query_length, query_type
+from repro.counting.p2cnf import P2CNF
+from repro.reduction.type1 import Type1Reduction
+from repro.reduction.zigzag import zigzag_query
+
+
+class TestIteratedZigzag:
+    def test_double_zigzag_doubles_twice(self):
+        q = catalog.rst_query()
+        k = query_length(q)
+        z1 = zigzag_query(q)
+        assert query_length(z1) >= 2 * k
+        z2 = zigzag_query(z1)
+        assert query_length(z2) >= 2 * query_length(z1)
+        assert is_unsafe(z2)
+        assert query_type(z2) == ("I", "I")
+
+    def test_length_8_reachable_for_type2(self):
+        """The Theorem 2.9(2) prerequisite: three zg applications give
+        type II-II length >= 8 (here two suffice from length 2)."""
+        q = catalog.example_c9()
+        z1 = zigzag_query(q)
+        assert query_length(z1) >= 4
+        z2 = zigzag_query(z1)
+        assert query_length(z2) >= 8
+        assert query_type(z2) == ("II", "II")
+
+    def test_symbol_growth_is_linear_per_level(self):
+        q = catalog.rst_query()
+        z1 = zigzag_query(q)
+        # n = 2 branches: every binary symbol splits in two, T folds in.
+        assert len(z1.binary_symbols) <= 2 * len(q.binary_symbols) + 1
+
+
+class TestZigzagFeedsReduction:
+    def test_finalized_zigzag_query_counts(self):
+        """zg output re-finalizes to a working Type-I reduction query:
+        the full Theorem 2.2 chain stays executable."""
+        z1 = zigzag_query(catalog.rst_query())
+        assert query_type(z1) == ("I", "I")
+        final, trace = find_final(z1)
+        assert is_final(final)
+        if query_type(final) != ("I", "I"):
+            pytest.skip("rewrites left the I-I fragment")
+        phi = P2CNF(2, ((0, 1),))
+        result = Type1Reduction(final).run(phi)
+        assert result.model_count == 3
+
+    def test_zigzag_of_path2(self):
+        z1 = zigzag_query(catalog.path_query(2))
+        final, _ = find_final(z1)
+        assert is_final(final)
+        if query_type(final) == ("I", "I"):
+            phi = P2CNF.path(3)
+            assert Type1Reduction(final).run(phi).model_count == 5
