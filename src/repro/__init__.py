@@ -44,7 +44,13 @@ from repro.counting import (
     P2CNF,
     PP2CNF,
 )
-from repro.evaluation import EvaluationResult, evaluate
+from repro.booleans.circuit import Circuit, compile_cnf
+from repro.evaluation import (
+    EvaluationResult,
+    evaluate,
+    evaluate_batch,
+    probability_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -70,6 +76,10 @@ __all__ = [
     "P2CNF",
     "PP2CNF",
     "evaluate",
+    "evaluate_batch",
+    "probability_sweep",
     "EvaluationResult",
+    "Circuit",
+    "compile_cnf",
     "__version__",
 ]

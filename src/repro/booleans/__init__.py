@@ -1,7 +1,9 @@
-"""Monotone Boolean formulas in CNF, connectivity analysis, and
-arithmetization (the bridge between logic and algebra of Section 1.6)."""
+"""Monotone Boolean formulas in CNF, connectivity analysis,
+arithmetization (the bridge between logic and algebra of Section 1.6),
+and knowledge compilation to d-DNNF circuits."""
 
 from repro.booleans.cnf import CNF, Clause
+from repro.booleans.circuit import Circuit, compile_cnf
 from repro.booleans.connectivity import (
     is_connected,
     disconnects,
@@ -12,7 +14,9 @@ from repro.booleans.arithmetize import arithmetize
 
 __all__ = [
     "CNF",
+    "Circuit",
     "Clause",
+    "compile_cnf",
     "is_connected",
     "disconnects",
     "variable_disconnects",

@@ -1,0 +1,324 @@
+"""Knowledge compilation: monotone CNFs as d-DNNF arithmetic circuits.
+
+The reductions evaluate the *same* lineage CNF under *many* weight
+vectors: the block-matrix entries of Eq. 20 sweep the endpoint
+probabilities over {0, 1}^2, the Type-II pipelines sweep consistent
+theta-assignments, and the Vandermonde interpolation sweeps a grid of
+probability points — all over one fixed formula.  The weighted model
+counter in ``repro.tid.wmc`` restarts its exponential search on every
+call; this module instead records that search *once* as a circuit and
+replays it in time linear in the circuit size per weight vector.
+
+A circuit is a DAG of hash-consed nodes:
+
+* ``("true",)`` / ``("false",)`` — constants;
+* ``("leaf", var)``              — the positive literal ``var``;
+* ``("and", children)``          — a *decomposable* conjunction: the
+  children mention pairwise disjoint variable sets, so probabilities
+  multiply;
+* ``("ite", var, hi, lo)``       — a Shannon decision
+  (var AND hi) OR (NOT var AND lo): *deterministic* because the two
+  disjuncts are mutually exclusive on ``var``, so probabilities add.
+
+Decomposability + determinism make the circuit a d-DNNF: weighted model
+counts, unweighted model counts, and all first-order marginals fall out
+of single forward/backward passes.  The compiler mirrors the trace of
+the WMC engine — unit-clause conditioning, independent-component
+factorization via ``clause_components``, Shannon expansion on a
+most-shared variable — but keeps the trace instead of collapsing it to
+one number.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.booleans.cnf import CNF
+from repro.booleans.connectivity import clause_components
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+HALF = Fraction(1, 2)
+
+#: Node kind tags (index 0 of every node tuple).
+TRUE, FALSE, LEAF, AND, ITE = "true", "false", "leaf", "and", "ite"
+
+Weights = Mapping | Callable[[Hashable], Fraction] | None
+
+
+def make_lookup(weights: Weights = None,
+                default: Fraction | None = None) -> Callable:
+    """Normalize a weight specification into ``var -> Fraction``.
+
+    ``weights`` may be a mapping, a callable, or None; variables missing
+    from a mapping fall back to ``default`` (1/2 when unspecified) —
+    the same convention as ``repro.tid.wmc.cnf_probability``.
+    """
+    if callable(weights):
+        return weights
+    table = dict(weights or {})
+    fallback = HALF if default is None else Fraction(default)
+    return lambda v: table.get(v, fallback)
+
+
+def branch_variable(formula: CNF):
+    """The Shannon-expansion pivot: a most-shared variable, ties broken
+    deterministically on the token's repr."""
+    counts: dict[object, int] = {}
+    for clause in formula.clauses:
+        for var in clause:
+            counts[var] = counts.get(var, 0) + 1
+    return max(counts, key=lambda v: (counts[v], repr(v)))
+
+
+class Circuit:
+    """An immutable d-DNNF arithmetic circuit.
+
+    ``nodes`` is topologically ordered (children strictly before
+    parents), so every query below is a single linear pass.
+    """
+
+    __slots__ = ("nodes", "root", "_variables")
+
+    def __init__(self, nodes: tuple, root: int):
+        self.nodes = nodes
+        self.root = root
+        self._variables: frozenset | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        total = 0
+        for node in self.nodes:
+            if node[0] is AND:
+                total += len(node[1])
+            elif node[0] is ITE:
+                total += 2
+        return total
+
+    def variables(self) -> frozenset:
+        if self._variables is None:
+            self._variables = frozenset(
+                node[1] for node in self.nodes if node[0] in (LEAF, ITE))
+        return self._variables
+
+    def node_counts(self) -> dict[str, int]:
+        counts = {TRUE: 0, FALSE: 0, LEAF: 0, AND: 0, ITE: 0}
+        for node in self.nodes:
+            counts[node[0]] += 1
+        return counts
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path (0 for a constant circuit)."""
+        depths = [0] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            if node[0] is AND:
+                depths[i] = 1 + max(depths[c] for c in node[1])
+            elif node[0] is ITE:
+                depths[i] = 1 + max(depths[node[2]], depths[node[3]])
+        return depths[self.root]
+
+    def stats(self) -> dict:
+        """Summary statistics (the ``repro compile`` CLI report)."""
+        counts = self.node_counts()
+        return {
+            "size": self.size,
+            "edges": self.edge_count,
+            "depth": self.depth(),
+            "variables": len(self.variables()),
+            "decision_nodes": counts[ITE],
+            "product_nodes": counts[AND],
+            "leaf_nodes": counts[LEAF],
+        }
+
+    # ------------------------------------------------------------------
+    # Linear-time queries
+    # ------------------------------------------------------------------
+    def probability(self, weights: Weights = None,
+                    default: Fraction | None = None) -> Fraction:
+        """Pr(F) under independent variables — one forward pass."""
+        return self._forward(make_lookup(weights, default))[self.root]
+
+    def _forward(self, lookup) -> list[Fraction]:
+        vals: list[Fraction] = [ZERO] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            kind = node[0]
+            if kind is ITE:
+                p = Fraction(lookup(node[1]))
+                vals[i] = p * vals[node[2]] + (ONE - p) * vals[node[3]]
+            elif kind is AND:
+                acc = ONE
+                for child in node[1]:
+                    acc *= vals[child]
+                    if not acc:
+                        break
+                vals[i] = acc
+            elif kind is LEAF:
+                vals[i] = Fraction(lookup(node[1]))
+            elif kind is TRUE:
+                vals[i] = ONE
+        return vals
+
+    def model_count(self, scope: Iterable | None = None) -> int:
+        """The number of satisfying assignments over ``scope``.
+
+        ``scope`` must contain every circuit variable (default: exactly
+        the circuit variables); variables in ``scope`` that the formula
+        does not mention are free and double the count.
+        """
+        variables = self.variables()
+        scope = variables if scope is None else frozenset(scope)
+        if not variables <= scope:
+            missing = sorted(variables - scope, key=repr)
+            raise ValueError(f"scope is missing circuit variables: "
+                             f"{missing[:5]}")
+        # Pr at the uniform weighting 1/2 is (#models / 2^|scope|),
+        # exactly, because every node value is an exact Fraction.
+        count = self.probability(lambda v: HALF) * (1 << len(scope))
+        if count.denominator != 1:  # pragma: no cover - d-DNNF invariant
+            raise AssertionError(f"non-integral model count: {count}")
+        return int(count)
+
+    def marginals(self, weights: Weights = None,
+                  default: Fraction | None = None) -> dict:
+        """All partial derivatives d Pr(F) / d p(var) — one forward plus
+        one backward pass (Darwiche's differential semantics).
+
+        Since Pr is multilinear, the marginal of ``var`` also equals
+        Pr(F[var:=1]) - Pr(F[var:=0]) at the remaining weights.
+        """
+        lookup = make_lookup(weights, default)
+        vals = self._forward(lookup)
+        derivs: list[Fraction] = [ZERO] * len(self.nodes)
+        derivs[self.root] = ONE
+        grads: dict = {v: ZERO for v in self.variables()}
+        for i in range(len(self.nodes) - 1, -1, -1):
+            d = derivs[i]
+            if not d:
+                continue
+            node = self.nodes[i]
+            kind = node[0]
+            if kind is ITE:
+                p = Fraction(lookup(node[1]))
+                derivs[node[2]] += p * d
+                derivs[node[3]] += (ONE - p) * d
+                grads[node[1]] += (vals[node[2]] - vals[node[3]]) * d
+            elif kind is AND:
+                children = node[1]
+                # Prefix/suffix products keep the pass linear even when
+                # several child values are zero.
+                n = len(children)
+                prefix = [ONE] * (n + 1)
+                for j, child in enumerate(children):
+                    prefix[j + 1] = prefix[j] * vals[child]
+                suffix = ONE
+                for j in range(n - 1, -1, -1):
+                    child = children[j]
+                    derivs[child] += d * prefix[j] * suffix
+                    suffix *= vals[child]
+            elif kind is LEAF:
+                grads[node[1]] += d
+        return grads
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+class _Compiler:
+    """Hash-consing compiler from minimized monotone CNFs to circuits."""
+
+    def __init__(self):
+        self.nodes: list[tuple] = []
+        self._intern_table: dict[tuple, int] = {}
+        self.true_id = self._intern((TRUE,))
+        self.false_id = self._intern((FALSE,))
+        self._memo: dict[CNF, int] = {}
+
+    def _intern(self, node: tuple) -> int:
+        nid = self._intern_table.get(node)
+        if nid is None:
+            nid = len(self.nodes)
+            self.nodes.append(node)
+            self._intern_table[node] = nid
+        return nid
+
+    def leaf(self, var) -> int:
+        return self._intern((LEAF, var))
+
+    def conjoin(self, children: Iterable[int]) -> int:
+        flat: set[int] = set()
+        for child in children:
+            if child == self.false_id:
+                return self.false_id
+            if child == self.true_id:
+                continue
+            node = self.nodes[child]
+            if node[0] is AND:
+                flat.update(node[1])
+            else:
+                flat.add(child)
+        if not flat:
+            return self.true_id
+        if len(flat) == 1:
+            return next(iter(flat))
+        return self._intern((AND, tuple(sorted(flat))))
+
+    def decide(self, var, hi: int, lo: int) -> int:
+        if hi == lo:
+            return hi
+        return self._intern((ITE, var, hi, lo))
+
+    # ------------------------------------------------------------------
+    def compile(self, formula: CNF) -> int:
+        if formula.is_true():
+            return self.true_id
+        if formula.is_false():
+            return self.false_id
+        hit = self._memo.get(formula)
+        if hit is not None:
+            return hit
+        nid = self._compile_uncached(formula)
+        self._memo[formula] = nid
+        return nid
+
+    def _compile_uncached(self, formula: CNF) -> int:
+        # Unit clauses force their variable true: {X} & F == X & F[X:=1],
+        # a decomposable product because conditioning removes X.  The
+        # min-by-repr choice keeps compilation order-independent.
+        units = [clause for clause in formula.clauses if len(clause) == 1]
+        if units:
+            var = min((next(iter(c)) for c in units), key=repr)
+            return self.conjoin([
+                self.leaf(var),
+                self.compile(formula.condition(var, True))])
+
+        groups = clause_components(formula)
+        if len(groups) > 1:
+            return self.conjoin(
+                self.compile(CNF._from_minimized(group))
+                for group in groups)
+
+        var = branch_variable(formula)
+        hi = self.compile(formula.condition(var, True))
+        lo = self.compile(formula.condition(var, False))
+        return self.decide(var, hi, lo)
+
+
+def compile_cnf(formula: CNF) -> Circuit:
+    """Compile a monotone CNF into a d-DNNF circuit.
+
+    Compilation costs about one run of the recursive WMC engine; every
+    subsequent ``Circuit.probability`` / ``model_count`` / ``marginals``
+    call is linear in the circuit size.  Callers that expect to reuse
+    circuits should go through ``repro.tid.wmc.compiled``, the
+    module-level compilation cache.
+    """
+    compiler = _Compiler()
+    root = compiler.compile(formula)
+    return Circuit(tuple(compiler.nodes), root)

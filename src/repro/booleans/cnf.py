@@ -49,6 +49,21 @@ class CNF:
             frozenset(clause) for clause in clauses)
         self._hash: int | None = None
 
+    @classmethod
+    def _from_minimized(cls, clauses: Iterable[frozenset]) -> "CNF":
+        """Wrap an *already absorption-minimal* set of frozensets.
+
+        Private fast path skipping the O(n^2) ``_absorb`` pass — the
+        hottest allocation site in both WMC engines.  The caller must
+        guarantee minimality (e.g. the clauses are a subset of a
+        minimized CNF's clause set, which stays minimal because
+        absorption only ever removes supersets).
+        """
+        self = cls.__new__(cls)
+        self.clauses = frozenset(clauses)
+        self._hash = None
+        return self
+
     # ------------------------------------------------------------------
     TRUE: "CNF"
     FALSE: "CNF"
@@ -95,6 +110,22 @@ class CNF:
         return CNF(clauses)
 
     @staticmethod
+    def conjunction_disjoint(parts: Iterable["CNF"]) -> "CNF":
+        """Conjunction of pairwise *variable-disjoint* minimal CNFs.
+
+        Non-empty clauses over disjoint variable sets can never subsume
+        one another, so the union of the clause sets is already minimal
+        and the absorption pass can be skipped.  The caller is
+        responsible for disjointness.
+        """
+        clauses: set[frozenset] = set()
+        for part in parts:
+            if part.is_false():
+                return CNF.FALSE
+            clauses.update(part.clauses)
+        return CNF._from_minimized(clauses)
+
+    @staticmethod
     def disjunction(parts: Iterable["CNF"]) -> "CNF":
         result = CNF.FALSE
         for part in parts:
@@ -107,7 +138,9 @@ class CNF:
     def condition(self, var: Var, value: bool) -> "CNF":
         """The cofactor F[var := value]."""
         if value:
-            return CNF(c for c in self.clauses if var not in c)
+            # Dropping clauses from a minimal set keeps it minimal.
+            return CNF._from_minimized(
+                c for c in self.clauses if var not in c)
         return CNF(c - {var} for c in self.clauses)
 
     def condition_many(self, assignment: dict) -> "CNF":

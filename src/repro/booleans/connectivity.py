@@ -48,7 +48,9 @@ def clause_components(formula: CNF) -> list[frozenset[frozenset]]:
 
 def components(formula: CNF) -> list[CNF]:
     """The formula split into independent (variable-disjoint) conjuncts."""
-    return [CNF(group) for group in clause_components(formula)]
+    # Each group is a subset of a minimized clause set, hence minimal.
+    return [CNF._from_minimized(group)
+            for group in clause_components(formula)]
 
 
 def is_connected(formula: CNF) -> bool:

@@ -6,6 +6,7 @@ Usage (after installation):
     python -m repro census
     python -m repro reduce --edges "0-1,1-2" --vars 3
     python -m repro h0 --left 2 --right 2 --edges "0-0,1-1"
+    python -m repro compile "(R|S1)(S1|S2)(S2|T)" --p 4
 
 The tiny query syntax covers Type-I bipartite queries: a conjunction of
 parenthesized clauses, each a |-separated list of symbols; "R" and "T"
@@ -113,7 +114,7 @@ def cmd_reduce(args) -> int:
         print(f"   #{signature} = {count}")
     print(f"#Phi = {result.model_count}")
     if args.check:
-        brute = phi.count_satisfying()
+        brute = phi.count_satisfying_brute()
         print(f"brute force: {brute} "
               f"({'match' if brute == result.model_count else 'MISMATCH'})")
     return 0
@@ -126,7 +127,33 @@ def cmd_h0(args) -> int:
     count = count_pp2cnf_via_h0(phi)
     print(f"#PP2CNF = {count}")
     if args.check:
-        print(f"brute force: {phi.count_satisfying()}")
+        print(f"brute force: {phi.count_satisfying_brute()}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from repro.reduction.blocks import path_block
+    from repro.tid.lineage import lineage
+    from repro.tid.wmc import compiled
+
+    query = parse_query(args.query)
+    tid = path_block(query, args.p)
+    formula = lineage(query, tid)
+    circuit = compiled(formula)
+    stats = circuit.stats()
+    print(f"query:          {query}")
+    print(f"block:          B_{args.p}(u, v)")
+    print(f"lineage:        {len(formula)} clauses over "
+          f"{len(formula.variables())} tuple variables")
+    print(f"circuit size:   {stats['size']} nodes, "
+          f"{stats['edges']} edges, depth {stats['depth']}")
+    print(f"node breakdown: {stats['decision_nodes']} decision, "
+          f"{stats['product_nodes']} product, "
+          f"{stats['leaf_nodes']} leaf")
+    value = circuit.probability(tid.probability)
+    print(f"Pr(Q) at block weights: {value}")
+    print(f"lineage model count:    "
+          f"{circuit.model_count(formula.variables())}")
     return 0
 
 
@@ -161,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_h0.add_argument("--edges", required=True)
     p_h0.add_argument("--check", action="store_true")
     p_h0.set_defaults(fn=cmd_h0)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="compile a query's path-block lineage to a d-DNNF "
+             "circuit and print its statistics")
+    p_compile.add_argument("query")
+    p_compile.add_argument("--p", type=int, default=4,
+                           help="path-block length (default 4)")
+    p_compile.set_defaults(fn=cmd_compile)
     return parser
 
 

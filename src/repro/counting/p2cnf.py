@@ -9,7 +9,8 @@ recovers #Phi from the *undirected signature counts*
     k'(theta) = (k00, k01+k10, k11)
 
 where k_ab counts edges whose endpoints theta maps to (a, b).  This
-module provides exact brute-force computation of #Phi and of all
+module provides exact computation of #Phi (via the d-DNNF model
+counter, with a brute-force validation oracle alongside) and of all
 signature counts, which the reduction's output is checked against.
 """
 
@@ -60,8 +61,21 @@ class P2CNF:
                 k00 += 1
         return (k00, k01_10, k11)
 
+    def to_cnf(self):
+        """Phi as a monotone CNF over variables ("x", 0..n-1)."""
+        from repro.booleans.cnf import CNF
+        return CNF([[("x", i), ("x", j)] for i, j in self.edges])
+
     def count_satisfying(self) -> int:
-        """#Phi by brute force (exponential in n)."""
+        """#Phi via the d-DNNF model counter (Phi is a monotone CNF);
+        polynomial on tree-like clause graphs, exponential at worst."""
+        from repro.tid.wmc import compiled
+        return compiled(self.to_cnf()).model_count(
+            ("x", i) for i in range(self.n))
+
+    def count_satisfying_brute(self) -> int:
+        """#Phi by brute force over all 2^n assignments (the
+        independent validation oracle for ``count_satisfying``)."""
         return sum(
             1 for bits in iter_product((0, 1), repeat=self.n)
             if self.satisfied(bits))

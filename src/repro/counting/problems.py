@@ -20,7 +20,8 @@ from typing import Iterable
 
 from repro.core.queries import Query
 from repro.tid.database import TID, HALF, ONE, ZERO
-from repro.tid.wmc import probability
+from repro.tid.lineage import lineage
+from repro.tid.wmc import compiled, probability
 
 GFOMC_VALUES = frozenset({ZERO, HALF, ONE})
 FOMC_VALUES = frozenset({HALF, ONE})
@@ -66,11 +67,13 @@ def generalized_model_count(query: Query, tid_shape: TID,
     probs.update({token: HALF for token in database - certain})
     tid = TID(tid_shape.left_domain, tid_shape.right_domain,
               probs, default=ZERO)
-    pr = probability(query, tid)
-    count = pr * Fraction(2) ** len(database - certain)
-    if count.denominator != 1:
-        raise AssertionError("model count must be an integer")
-    return int(count)
+    if query.is_false():
+        return 0
+    # Certain/absent tuples fold into the lineage, whose variables are
+    # exactly a subset of the uncertain tuples; the count is then an
+    # unweighted d-DNNF model count over DB - D1.
+    formula = lineage(query, tid)
+    return compiled(formula).model_count(database - certain)
 
 
 def model_count(query: Query, tid_shape: TID, database: Iterable) -> int:

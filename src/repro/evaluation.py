@@ -4,12 +4,21 @@
 
 * safe queries (Definition 2.4) go to the polynomial-time lifted
   evaluator — the PTIME side of Theorem 2.1;
-* unsafe queries fall back to the exact exponential weighted model
-  counter (they are #P-hard, Theorem 2.2, so no general shortcut
-  exists);
-* ``method`` can force a specific engine, or request
+* unsafe queries fall back to the exact weighted model counter, which
+  compiles the lineage to a d-DNNF circuit and evaluates it (they are
+  #P-hard, Theorem 2.2, so no general shortcut exists — but the
+  compilation is paid at most once per lineage);
+* ``method`` can force a specific engine — ``"compiled"`` addresses the
+  circuit backend explicitly, ``"wmc"`` the shared compile+evaluate
+  oracle, ``"shannon"`` the legacy recursive search — or request
   ``"cross-check"``, which runs every applicable engine and asserts
   agreement (used throughout the test-suite and benchmarks).
+
+Batch workloads should use ``evaluate_batch`` (many databases, one
+query) or ``probability_sweep`` (one lineage, many weight vectors):
+both ride the module-level compilation cache, so the exponential
+lineage search runs once and each extra evaluation is linear in the
+circuit size.
 
 This is the front door a downstream user of the library is expected to
 call.
@@ -19,15 +28,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
 
+from repro.booleans.cnf import CNF
 from repro.core.queries import Query
 from repro.core.safety import is_safe
 from repro.tid.brute import probability_brute
 from repro.tid.database import TID
 from repro.tid.lifted import lifted_probability
-from repro.tid.wmc import probability
+from repro.tid.lineage import lineage
+from repro.tid.wmc import compiled, probability, shannon_probability
 
-METHODS = ("auto", "lifted", "wmc", "brute", "cross-check")
+METHODS = ("auto", "lifted", "wmc", "compiled", "shannon", "brute",
+           "cross-check")
 
 
 @dataclass(frozen=True)
@@ -43,6 +56,20 @@ class EvaluationResult:
             return (self.value, self.method, self.safe) == \
                 (other.value, other.method, other.safe)
         return self.value == other
+
+    def __hash__(self):
+        # A custom __eq__ suppresses the dataclass-generated __hash__,
+        # so it must be restated explicitly.  Hash on the value alone:
+        # results equal to each other or to a bare Fraction (see __eq__)
+        # then always hash alike, keeping dict/set semantics consistent.
+        return hash(self.value)
+
+
+def _shannon_query_probability(query: Query, tid: TID) -> Fraction:
+    """Pr(Q) via the legacy recursive engine (recomputes every call)."""
+    if query.is_false():
+        return Fraction(0)
+    return shannon_probability(lineage(query, tid), tid.probability)
 
 
 def evaluate(query: Query, tid: TID, method: str = "auto"
@@ -61,11 +88,24 @@ def evaluate(query: Query, tid: TID, method: str = "auto"
                                 "lifted", safe)
     if method == "wmc":
         return EvaluationResult(probability(query, tid), "wmc", safe)
+    if method == "compiled":
+        # Same engine as "wmc" (which is circuit-backed), addressed
+        # explicitly; provenance records the caller's choice.
+        return EvaluationResult(probability(query, tid),
+                                "compiled", safe)
+    if method == "shannon":
+        return EvaluationResult(_shannon_query_probability(query, tid),
+                                "shannon", safe)
     if method == "brute":
         return EvaluationResult(probability_brute(query, tid),
                                 "brute", safe)
     # cross-check
     wmc_value = probability(query, tid)
+    shannon_value = _shannon_query_probability(query, tid)
+    if wmc_value != shannon_value:  # pragma: no cover - engine bug guard
+        raise AssertionError(
+            f"engine disagreement: compiled={wmc_value} "
+            f"shannon={shannon_value}")
     brute_value = probability_brute(query, tid)
     if wmc_value != brute_value:  # pragma: no cover - engine bug guard
         raise AssertionError(
@@ -76,3 +116,31 @@ def evaluate(query: Query, tid: TID, method: str = "auto"
             raise AssertionError(
                 f"lifted={lifted_value} disagrees with wmc={wmc_value}")
     return EvaluationResult(wmc_value, "cross-check", safe)
+
+
+def evaluate_batch(query: Query, tids: Iterable[TID],
+                   method: str = "auto") -> list[EvaluationResult]:
+    """Pr(Q) over many databases, compiling each distinct lineage once.
+
+    Databases that ground to the same lineage CNF (same domains and
+    certain/absent tuples, arbitrary probabilities elsewhere) share a
+    single compilation through the module-level circuit cache, so the
+    marginal cost of each extra database is one linear circuit pass.
+    """
+    return [evaluate(query, tid, method) for tid in tids]
+
+
+def probability_sweep(formula: CNF,
+                      weight_maps: Sequence[Mapping | None],
+                      default: Fraction | None = None) -> list[Fraction]:
+    """Pr(F) under many weight vectors: compile once, evaluate many.
+
+    This is the primitive behind the reduction pipelines' probability
+    grids (block-matrix entries, Type-II theta-sweeps, interpolation
+    points): one exponential compilation, then one linear circuit pass
+    per weight map.  Each entry of ``weight_maps`` may be a mapping, a
+    callable, or None (all variables at ``default``, by default 1/2).
+    """
+    circuit = compiled(formula)
+    return [circuit.probability(weights, default)
+            for weights in weight_maps]

@@ -30,24 +30,32 @@ from repro.core.queries import Query
 from repro.reduction.blocks import path_block
 from repro.tid.database import r_tuple
 from repro.tid.lineage import lineage
-from repro.tid.wmc import cnf_probability
+from repro.tid.wmc import compiled
 
 HALF = Fraction(1, 2)
 
 
 def z_matrix_direct(query: Query, p: int) -> Matrix:
-    """A(p) computed honestly: ground B_p(u, v), condition the endpoint
-    variables, and run exact WMC with all probabilities 1/2."""
+    """A(p) computed honestly: ground B_p(u, v), compile the lineage
+    once, and sweep the endpoint conditioning grid over the circuit.
+
+    Conditioning a monotone lineage on an endpoint tuple equals pinning
+    that tuple's marginal to 0/1, so all four entries are linear passes
+    over one compiled circuit with the endpoint weights overridden —
+    the probabilities are bit-identical to conditioning structurally
+    and re-running WMC per entry.
+    """
     tid = path_block(query, p)
-    formula = lineage(query, tid)
+    circuit = compiled(lineage(query, tid))
     r_u, r_v = r_tuple("u"), r_tuple("v")
+    base = tid.probability
     rows = []
     for a in (0, 1):
         row = []
         for b in (0, 1):
-            conditioned = formula.condition(r_u, bool(a)).condition(
-                r_v, bool(b))
-            row.append(cnf_probability(conditioned, tid.probability))
+            pinned = {r_u: Fraction(a), r_v: Fraction(b)}
+            row.append(circuit.probability(
+                lambda t, pinned=pinned: pinned.get(t, base(t))))
         rows.append(row)
     return Matrix(rows)
 

@@ -49,7 +49,8 @@ from repro.counting.p2cnf import P2CNF, Signature
 from repro.reduction.block_matrix import z_matrix_direct, z_matrix_power
 from repro.reduction.blocks import reduction_tid
 from repro.tid.database import TID
-from repro.tid.wmc import probability
+from repro.tid.lineage import lineage
+from repro.tid.wmc import compiled
 
 Oracle = Callable[[TID], Fraction]
 
@@ -144,9 +145,12 @@ class Type1Reduction:
 
     def wmc_oracle_value(self, phi: P2CNF,
                          params: tuple[int, int]) -> Fraction:
-        """2^n * Pr_Delta(Q) by materializing Delta and running WMC."""
+        """2^n * Pr_Delta(Q) by materializing Delta, compiling its
+        lineage to a d-DNNF circuit (cached across repeated calls with
+        the same parameters), and evaluating one linear pass."""
         tid = self.reduction_database(phi, params)
-        return probability(self.query, tid) * Fraction(2) ** phi.n
+        circuit = compiled(lineage(self.query, tid))
+        return circuit.probability(tid.probability) * Fraction(2) ** phi.n
 
     # ------------------------------------------------------------------
     def _select_rows(self, m: int, max_parameter: int

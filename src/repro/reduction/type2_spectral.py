@@ -31,6 +31,7 @@ from repro.booleans.connectivity import clause_components, variable_disconnects
 from repro.core.queries import Query
 from repro.core.safety import is_safe
 from repro.reduction.type2_blocks import type2_block
+from repro.reduction.type2_lattice import TypeIIStructure
 from repro.tid.database import TID, s_tuple
 from repro.tid.lineage import lineage
 from repro.tid.wmc import cnf_probability
@@ -53,7 +54,9 @@ def _middle_factor(conditioned: CNF, middle_tuples: frozenset) -> CNF:
     """The conjunction of components touching the given tuples."""
     groups = [g for g in clause_components(conditioned)
               if frozenset(v for c in g for v in c) & middle_tuples]
-    return CNF(c for g in groups for c in g)
+    # Components of a minimized CNF are subsets of its clause set, so
+    # their union is already absorption-minimal.
+    return CNF._from_minimized(c for g in groups for c in g)
 
 
 def link_matrix_type2(query: Query, symbol: str,
@@ -64,7 +67,10 @@ def link_matrix_type2(query: Query, symbol: str,
     Conditioning S_0 = S(r0, t0) and S_1 = S(r1, t1) on (a, b) isolates
     the middle factor Z^(ab) around the elementary block B(r1, t0);
     z_ab is its probability with all remaining tuples at 1/2 (or at the
-    supplied consistent assignment).
+    supplied consistent assignment).  Each factor is evaluated through
+    the shared compilation cache, so repeated link-matrix extractions
+    over the same block (the spectral checks, the exponential-form
+    verification, the assignment sweeps) compile each factor only once.
     """
     block = type2_block(query, p=1, tag=tag)
     if assignment:
@@ -112,7 +118,6 @@ def y_sequence(query: Query, alpha, beta, p_max: int,
                tag: str = "") -> list[Fraction]:
     """y_alpha_beta(p) on the pure zig-zag block (no prefix/suffix)
     for p = 0..p_max (Eq. 73), all probabilities 1/2."""
-    from repro.reduction.type2_lattice import TypeIIStructure
     structure = TypeIIStructure(query)
     values = []
     for p in range(p_max + 1):

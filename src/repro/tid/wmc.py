@@ -1,26 +1,35 @@
 """Exact weighted model counting over monotone CNF lineages.
 
 This is the "#P oracle" of the reductions: given independent Boolean
-variables with rational marginals, compute Pr(F) exactly.  The engine
-recursively applies, in order:
+variables with rational marginals, compute Pr(F) exactly.  Since PR 1
+the default engine is *knowledge compilation*: the formula is compiled
+once into a d-DNNF circuit (``repro.booleans.circuit``) whose trace
+mirrors the classic search — unit-clause conditioning,
+independent-component factorization, Shannon expansion on a most-shared
+variable — and every evaluation is then a single linear pass over the
+circuit.  A module-level cache keyed on the canonical CNF makes the
+repeated-evaluation workloads of the reductions (block-matrix grids,
+Type-II sweeps, Vandermonde interpolation) pay the exponential search
+at most once per formula.
 
-1. trivial formulas;
-2. independent-component factorization (Pr multiplies);
-3. unit-clause conditioning ({X} forces X true);
-4. Shannon expansion on a most-shared variable,
-
-memoizing on the canonical CNF.  The block databases of the reductions
-decompose into chains whose cut variables the expansion finds quickly,
-so this is fast on all construction-sized inputs while remaining fully
-general (and exponential in the worst case — it is, after all, a #P
-oracle).
+The pre-compilation recursive engine survives as
+``shannon_probability``; it restarts its search on every call and is
+kept as an independent validation oracle and as the benchmark baseline
+(``benchmarks/bench_compile.py``).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Mapping
 
+from repro.booleans.circuit import (
+    Circuit,
+    branch_variable,
+    compile_cnf,
+    make_lookup,
+)
 from repro.booleans.cnf import CNF
 from repro.booleans.connectivity import clause_components
 from repro.core.queries import Query
@@ -29,9 +38,38 @@ from repro.tid.lineage import lineage
 
 ONE = Fraction(1)
 
+#: Module-level compilation cache: canonical CNF -> compiled circuit,
+#: evicted least-recently-used beyond ``_CACHE_LIMIT`` entries.
+_CIRCUIT_CACHE: OrderedDict[CNF, Circuit] = OrderedDict()
+_CACHE_LIMIT = 1024
+
+
+def compiled(formula: CNF) -> Circuit:
+    """The d-DNNF circuit of ``formula``, compiled at most once.
+
+    Equal CNFs (structural equality is logical equivalence for
+    minimized monotone CNFs) share one circuit across the whole
+    process; the cache is LRU-bounded so one-shot giant lineages cannot
+    pin memory forever.
+    """
+    circuit = _CIRCUIT_CACHE.get(formula)
+    if circuit is not None:
+        _CIRCUIT_CACHE.move_to_end(formula)
+        return circuit
+    circuit = compile_cnf(formula)
+    _CIRCUIT_CACHE[formula] = circuit
+    if len(_CIRCUIT_CACHE) > _CACHE_LIMIT:
+        _CIRCUIT_CACHE.popitem(last=False)
+    return circuit
+
+
+def clear_circuit_cache() -> None:
+    """Drop all cached circuits (mainly for tests and benchmarks)."""
+    _CIRCUIT_CACHE.clear()
+
 
 def probability(query: Query, tid: TID) -> Fraction:
-    """Pr(Q) over the TID: ground to lineage, then weighted-model-count."""
+    """Pr(Q) over the TID: ground to lineage, then compile + evaluate."""
     if query.is_false():
         return Fraction(0)
     formula = lineage(query, tid)
@@ -43,14 +81,27 @@ def cnf_probability(formula: CNF, prob: Mapping | None = None,
     """Exact Pr(F) for a monotone CNF with independent variables.
 
     ``prob`` maps variables to marginals; it may be a dict or a callable.
-    Missing variables use ``default`` (or 1/2 when unspecified).
+    Missing variables use ``default`` (or 1/2 when unspecified).  The
+    first call for a given formula compiles it (cost comparable to one
+    run of ``shannon_probability``); subsequent calls with any weight
+    vector are linear in the circuit size.
     """
-    if callable(prob):
-        lookup = prob
-    else:
-        table = dict(prob or {})
-        fallback = Fraction(1, 2) if default is None else Fraction(default)
-        lookup = lambda v: table.get(v, fallback)  # noqa: E731
+    return compiled(formula).probability(prob, default)
+
+
+# ----------------------------------------------------------------------
+# The legacy recursive engine (validation oracle / benchmark baseline)
+# ----------------------------------------------------------------------
+def shannon_probability(formula: CNF, prob: Mapping | None = None,
+                        default: Fraction | None = None) -> Fraction:
+    """Pr(F) by the pre-compilation recursive engine.
+
+    Recomputes from scratch on every call (the memo cache is per-call),
+    exactly as ``cnf_probability`` behaved before the circuit backend;
+    kept as an independent implementation for cross-checks and as the
+    recompute-every-call baseline in ``benchmarks/bench_compile.py``.
+    """
+    lookup = make_lookup(prob, default)
     cache: dict[CNF, Fraction] = {}
     return _probability(formula, lookup, cache)
 
@@ -84,23 +135,15 @@ def _probability_uncached(formula: CNF, prob, cache) -> Fraction:
     if len(groups) > 1:
         result = ONE
         for group in groups:
-            result *= _probability(CNF(group), prob, cache)
+            result *= _probability(CNF._from_minimized(group), prob, cache)
             if result == 0:
                 return result
         return result
 
-    var = _branch_variable(formula)
+    var = branch_variable(formula)
     p = Fraction(prob(var))
     high = _probability(formula.condition(var, True), prob, cache)
     if p == ONE:
         return high
     low = _probability(formula.condition(var, False), prob, cache)
     return p * high + (ONE - p) * low
-
-
-def _branch_variable(formula: CNF):
-    counts: dict[object, int] = {}
-    for clause in formula.clauses:
-        for var in clause:
-            counts[var] = counts.get(var, 0) + 1
-    return max(counts, key=lambda v: (counts[v], repr(v)))
