@@ -15,7 +15,12 @@ The public API re-exports the main objects:
   :class:`PP2CNF`;
 * the hardness machinery: ``repro.reduction`` (blocks, small/big
   matrices, the Type-I Cook reduction, the zig-zag rewriting, and the
-  Type-II lattice/Moebius apparatus).
+  Type-II lattice/Moebius apparatus);
+* the circuit runtime: :class:`Circuit` / ``compile_cnf`` (d-DNNF
+  compilation, batched sweeps, versioned serialization),
+  :class:`CircuitStore` / ``cnf_fingerprint`` (content-addressed
+  persistence), and ``set_circuit_store`` (process-wide two-tier
+  caching).
 """
 
 from repro.core import (
@@ -45,6 +50,8 @@ from repro.counting import (
     PP2CNF,
 )
 from repro.booleans.circuit import Circuit, compile_cnf
+from repro.booleans.store import CircuitStore, cnf_fingerprint
+from repro.tid.wmc import set_circuit_store
 from repro.evaluation import (
     EvaluationResult,
     evaluate,
@@ -80,6 +87,9 @@ __all__ = [
     "probability_sweep",
     "EvaluationResult",
     "Circuit",
+    "CircuitStore",
+    "cnf_fingerprint",
+    "set_circuit_store",
     "compile_cnf",
     "__version__",
 ]

@@ -27,12 +27,23 @@ the WMC engine — unit-clause conditioning, independent-component
 factorization via ``clause_components``, Shannon expansion on a
 most-shared variable — but keeps the trace instead of collapsing it to
 one number.
+
+Two runtime features round the IR out into a reusable artifact:
+
+* ``Circuit.probability_batch`` evaluates *many* weight vectors in one
+  node-ordered pass (the grids of Eq. 20, theta-sweeps, interpolation
+  points), with an optional float fast path for approximate sweeps;
+* ``Circuit.to_bytes`` / ``Circuit.from_bytes`` give a versioned,
+  exactly round-tripping serialization, the unit of persistence for the
+  content-addressed store in ``repro.booleans.store``.
 """
 
 from __future__ import annotations
 
+import json
+
 from fractions import Fraction
-from typing import Callable, Hashable, Iterable, Mapping
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.booleans.cnf import CNF
 from repro.booleans.connectivity import clause_components
@@ -44,7 +55,57 @@ HALF = Fraction(1, 2)
 #: Node kind tags (index 0 of every node tuple).
 TRUE, FALSE, LEAF, AND, ITE = "true", "false", "leaf", "and", "ite"
 
+#: Serialization format name / version (``Circuit.to_bytes``).
+FORMAT_NAME = "repro-ddnnf"
+FORMAT_VERSION = 1
+
+
+class UnsupportedVersionError(ValueError):
+    """A well-formed circuit payload written by a different format
+    version — distinguishable from corruption so shared stores are not
+    destructively 'repaired' across version skew."""
+
 Weights = Mapping | Callable[[Hashable], Fraction] | None
+
+
+def encode_token(token) -> list:
+    """A JSON-safe, type-tagged encoding of a variable token.
+
+    Tokens in this codebase are strings, ints, bools, None, or nested
+    tuples thereof (ground-tuple tokens like ``('S1', 'u', 'v')``); the
+    tags keep the round trip exact — ``decode_token(encode_token(t))``
+    returns an *equal* token, never a list-for-tuple lookalike.
+    """
+    if token is None:
+        return ["z"]
+    if isinstance(token, bool):  # before int: bool is an int subclass
+        return ["b", token]
+    if isinstance(token, int):
+        return ["i", token]
+    if isinstance(token, str):
+        return ["s", token]
+    if isinstance(token, tuple):
+        return ["t", [encode_token(part) for part in token]]
+    raise TypeError(
+        f"cannot serialize variable token {token!r} of type "
+        f"{type(token).__name__}; supported: str, int, bool, None, "
+        f"and tuples thereof")
+
+
+def decode_token(obj):
+    """Inverse of ``encode_token``."""
+    tag = obj[0]
+    if tag == "z":
+        return None
+    if tag == "b":
+        return bool(obj[1])
+    if tag == "i":
+        return int(obj[1])
+    if tag == "s":
+        return str(obj[1])
+    if tag == "t":
+        return tuple(decode_token(part) for part in obj[1])
+    raise ValueError(f"unknown token tag {tag!r}")
 
 
 def make_lookup(weights: Weights = None,
@@ -165,6 +226,92 @@ class Circuit:
                 vals[i] = ONE
         return vals
 
+    def probability_batch(self, weight_specs: Sequence[Weights],
+                          default: Fraction | None = None,
+                          numeric: str = "exact") -> list:
+        """Pr(F) under many weight vectors in one node-ordered pass.
+
+        ``weight_specs`` is a sequence of weight specifications (each a
+        mapping, a callable, or None, as in ``probability``); the result
+        is ``[Pr(F; w) for w in weight_specs]`` but the circuit is
+        walked *once*, keeping a row of k running values per node — the
+        memory-friendly layout for the reduction grids (Eq. 20
+        endpoint sweeps, theta-sweeps, interpolation points).
+
+        ``numeric="exact"`` (the default) computes in ``Fraction``s and
+        is bit-identical to k separate ``probability`` calls;
+        ``numeric="float"`` runs the same pass in hardware floats —
+        callers wanting guardrails should cross-check a sample against
+        the exact path (``repro.evaluation.probability_sweep`` does).
+
+        Sweeps typically vary a handful of variables (endpoints,
+        theta-tuples) and hold the rest fixed, so each node value is
+        kept as a single scalar while it is *uniform* across the batch
+        and only widens to a per-lane row where lanes actually diverge
+        — the arithmetic then scales with k only on the swept part of
+        the circuit, which is why batching beats k separate passes.
+        """
+        if numeric == "exact":
+            to_num, one, zero = Fraction, ONE, ZERO
+        elif numeric == "float":
+            to_num, one, zero = float, 1.0, 0.0
+        else:
+            raise ValueError(
+                f"numeric must be 'exact' or 'float', got {numeric!r}")
+        lookups = [make_lookup(spec, default) for spec in weight_specs]
+        k = len(lookups)
+        if k == 0:
+            return []
+        # rows[i] is a scalar when node i's value is uniform across all
+        # k lanes, else a length-k list.
+        rows: list = [None] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            kind = node[0]
+            if kind is ITE:
+                var = node[1]
+                ps = [to_num(lookup(var)) for lookup in lookups]
+                uniform_p = all(p == ps[0] for p in ps)
+                hi, lo = rows[node[2]], rows[node[3]]
+                hi_wide = isinstance(hi, list)
+                lo_wide = isinstance(lo, list)
+                if uniform_p and not hi_wide and not lo_wide:
+                    p = ps[0]
+                    rows[i] = p * hi + (one - p) * lo
+                else:
+                    his = hi if hi_wide else (hi,) * k
+                    los = lo if lo_wide else (lo,) * k
+                    rows[i] = [ps[j] * his[j] + (one - ps[j]) * los[j]
+                               for j in range(k)]
+            elif kind is AND:
+                scalar = one
+                wide: list = []
+                for child in node[1]:
+                    crow = rows[child]
+                    if isinstance(crow, list):
+                        wide.append(crow)
+                    else:
+                        scalar *= crow
+                        if not scalar:
+                            break
+                if not scalar or not wide:
+                    rows[i] = scalar
+                else:
+                    row = [scalar * x for x in wide[0]]
+                    for crow in wide[1:]:
+                        for j in range(k):
+                            row[j] *= crow[j]
+                    rows[i] = row
+            elif kind is LEAF:
+                var = node[1]
+                ps = [to_num(lookup(var)) for lookup in lookups]
+                rows[i] = ps[0] if all(p == ps[0] for p in ps) else ps
+            elif kind is TRUE:
+                rows[i] = one
+            else:
+                rows[i] = zero
+        root = rows[self.root]
+        return list(root) if isinstance(root, list) else [root] * k
+
     def model_count(self, scope: Iterable | None = None) -> int:
         """The number of satisfying assignments over ``scope``.
 
@@ -225,6 +372,143 @@ class Circuit:
             elif kind is LEAF:
                 grads[node[1]] += d
         return grads
+
+    # ------------------------------------------------------------------
+    # Serialization (versioned, exact round trip)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """A compact, versioned JSON-lines serialization.
+
+        Line 1 is a header (format name, version, root, node count, and
+        the interned variable table); each subsequent line is one node
+        in topological order.  ``from_bytes`` reconstructs a circuit
+        whose node table is *identical*, so every query — probability,
+        model count, marginals — returns bit-identical ``Fraction``s.
+        """
+        var_ids: dict = {}
+        var_table: list = []
+        entries: list = []
+        for node in self.nodes:
+            kind = node[0]
+            if kind is ITE or kind is LEAF:
+                var = node[1]
+                # Intern on the *encoded* token, not the token itself:
+                # hash-equal tokens of different types (True vs 1, also
+                # nested inside tuples) would collapse in a plain dict
+                # and defeat the type-tagged codec's exact round trip.
+                encoded = encode_token(var)
+                key = json.dumps(encoded, separators=(",", ":"))
+                vid = var_ids.get(key)
+                if vid is None:
+                    vid = var_ids[key] = len(var_table)
+                    var_table.append(encoded)
+                if kind is ITE:
+                    entries.append(["ite", vid, node[2], node[3]])
+                else:
+                    entries.append(["leaf", vid])
+            elif kind is AND:
+                entries.append(["and", list(node[1])])
+            elif kind is TRUE:
+                entries.append(["true"])
+            else:
+                entries.append(["false"])
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "root": self.root,
+            "nodes": len(entries),
+            "variables": var_table,
+        }
+        lines = [json.dumps(header, separators=(",", ":"),
+                            sort_keys=True)]
+        lines.extend(
+            json.dumps(entry, separators=(",", ":")) for entry in entries)
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Circuit":
+        """Reconstruct a circuit serialized by ``to_bytes``.
+
+        Validates the header, the topological order (children strictly
+        before parents), and the root index; raises ``ValueError`` on
+        any malformed payload so callers (the disk store) can treat
+        corruption as a cache miss — wrong-version payloads raise the
+        ``UnsupportedVersionError`` subclass so they can be told apart
+        from corruption.
+        """
+        try:
+            lines = data.decode("utf-8").splitlines()
+            header = json.loads(lines[0])
+        except (UnicodeDecodeError, json.JSONDecodeError, IndexError) as e:
+            raise ValueError(f"not a serialized circuit: {e}") from None
+        if not isinstance(header, dict) or \
+                header.get("format") != FORMAT_NAME:
+            raise ValueError("not a serialized circuit: bad header")
+        if header.get("version") != FORMAT_VERSION:
+            raise UnsupportedVersionError(
+                f"unsupported circuit format version "
+                f"{header.get('version')!r} (this build reads "
+                f"{FORMAT_VERSION})")
+        count = header.get("nodes")
+        body = lines[1:]
+        if count != len(body):
+            raise ValueError(
+                f"truncated circuit: header says {count} nodes, "
+                f"found {len(body)}")
+        try:
+            variables = [decode_token(obj)
+                         for obj in header["variables"]]
+        except (KeyError, IndexError, TypeError, ValueError) as e:
+            raise ValueError(f"corrupt variable table: {e}") from None
+        nodes: list[tuple] = []
+        for i, line in enumerate(body):
+            # Any malformed line — bad JSON, wrong arity, out-of-range
+            # variable ids — must surface as ValueError, never leak a
+            # KeyError/IndexError/TypeError past the store's
+            # corruption-as-miss handling.
+            try:
+                entry = json.loads(line)
+                kind = entry[0]
+                if kind == ITE:
+                    _, vid, hi, lo = entry
+                    if not (isinstance(hi, int) and
+                            isinstance(lo, int) and
+                            0 <= hi < i and 0 <= lo < i):
+                        raise ValueError("children out of "
+                                         "topological order")
+                    if not isinstance(vid, int) or \
+                            not 0 <= vid < len(variables):
+                        raise ValueError(f"variable id {vid!r} "
+                                         f"out of range")
+                    nodes.append((ITE, variables[vid], hi, lo))
+                elif kind == AND:
+                    children = entry[1]
+                    if not all(isinstance(c, int) and 0 <= c < i
+                               for c in children):
+                        raise ValueError("children out of "
+                                         "topological order")
+                    nodes.append((AND, tuple(children)))
+                elif kind == LEAF:
+                    vid = entry[1]
+                    if not isinstance(vid, int) or \
+                            not 0 <= vid < len(variables):
+                        raise ValueError(f"variable id {vid!r} "
+                                         f"out of range")
+                    nodes.append((LEAF, variables[vid]))
+                elif kind == TRUE:
+                    nodes.append((TRUE,))
+                elif kind == FALSE:
+                    nodes.append((FALSE,))
+                else:
+                    raise ValueError(f"unknown kind {kind!r}")
+            except (json.JSONDecodeError, KeyError, IndexError,
+                    TypeError, ValueError) as e:
+                raise ValueError(f"corrupt node line {i}: {e}") \
+                    from None
+        root = header.get("root")
+        if not isinstance(root, int) or not 0 <= root < len(nodes):
+            raise ValueError(f"root index {root!r} out of range")
+        return cls(tuple(nodes), root)
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +584,13 @@ class _Compiler:
 
         groups = clause_components(formula)
         if len(groups) > 1:
+            # Component order follows frozenset iteration, which varies
+            # with PYTHONHASHSEED; sorting by each component's minimal
+            # variable repr (components are variable-disjoint, so keys
+            # are distinct) pins the traversal — and with it the node
+            # numbering, making ``Circuit.to_bytes`` byte-identical
+            # across runs and hash seeds.
+            groups.sort(key=lambda g: min(repr(v) for c in g for v in c))
             return self.conjoin(
                 self.compile(CNF._from_minimized(group))
                 for group in groups)

@@ -1,0 +1,148 @@
+"""Content-addressed on-disk persistence for compiled circuits.
+
+Compilation is the exponential step; everything after it is linear.
+Within one process the LRU cache in ``repro.tid.wmc`` already amortizes
+it, but every *new* process — each CLI invocation, each worker of a
+future service — used to pay it again.  This module stores serialized
+circuits (``Circuit.to_bytes``) under a key derived from the formula
+itself, so any process that can hash the CNF can skip straight to the
+linear phase.
+
+The key is ``cnf_fingerprint``: a SHA-256 over a *canonical* encoding
+of the minimized clause set.  Minimized monotone CNFs are canonical for
+their Boolean function, so equal fingerprints mean logically equivalent
+formulas; the encoding sorts clauses and tokens by their serialized
+form, making the key independent of ``PYTHONHASHSEED``, insertion
+order, and process identity — unlike ``hash(cnf)``, which is salted.
+
+Layout: ``<root>/<key[:2]>/<key>.ddnnf`` (git-object-style fan-out).
+Writes are atomic (temp file + rename); unreadable or wrong-version
+entries are treated as misses, so a store produced by a newer format
+never crashes an older reader — it just recompiles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.booleans.circuit import (
+    Circuit,
+    UnsupportedVersionError,
+    encode_token,
+)
+from repro.booleans.cnf import CNF
+
+#: Fingerprint domain separator: bump when the canonical encoding (not
+#: the circuit format — that is versioned in its own header) changes.
+FINGERPRINT_VERSION = 1
+
+SUFFIX = ".ddnnf"
+
+
+def cnf_fingerprint(formula: CNF) -> str:
+    """A deterministic content address for a minimized monotone CNF.
+
+    Stable across processes, hash seeds, and clause/token insertion
+    orders: tokens are serialized with the type-tagged circuit codec,
+    sorted within each clause, and the clauses sorted by their encoded
+    form before hashing.
+    """
+    encoded_clauses = sorted(
+        sorted(json.dumps(encode_token(var), separators=(",", ":"),
+                          sort_keys=True)
+               for var in clause)
+        for clause in formula.clauses)
+    payload = json.dumps(
+        {"v": FINGERPRINT_VERSION, "clauses": encoded_clauses},
+        separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CircuitStore:
+    """A content-addressed directory of serialized d-DNNF circuits."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / (key + SUFFIX)
+
+    def get(self, formula: CNF) -> Circuit | None:
+        """The stored circuit for ``formula``, or None on a miss.
+
+        Corrupt or wrong-version entries count as misses and are
+        removed so they are rebuilt cleanly on the next ``put``.
+        """
+        return self.load(cnf_fingerprint(formula))
+
+    def load(self, key: str) -> Circuit | None:
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return Circuit.from_bytes(data)
+        except UnsupportedVersionError:
+            # A different format version, not corruption: leave the
+            # entry for readers of that version (two deployments may
+            # share one store across a version bump; deleting here
+            # would make them destructively evict each other).
+            return None
+        except ValueError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, formula: CNF, circuit: Circuit) -> Path:
+        """Persist ``circuit`` under ``formula``'s fingerprint.
+
+        The write is atomic: concurrent writers of the same key race
+        benignly (same content, last rename wins).
+        """
+        return self.save(cnf_fingerprint(formula), circuit)
+
+    def save(self, key: str, circuit: Circuit) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(circuit.to_bytes())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def __contains__(self, formula: CNF) -> bool:
+        return self.path_for(cnf_fingerprint(formula)).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(
+            path.stem for path in self.root.glob(f"??/*{SUFFIX}"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> None:
+        for path in self.root.glob(f"??/*{SUFFIX}"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        return f"CircuitStore({str(self.root)!r}, {len(self)} circuits)"

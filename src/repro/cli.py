@@ -33,42 +33,64 @@ CLAUSE_RE = re.compile(r"\(([^()]*)\)")
 
 
 def parse_query(text: str) -> Query:
-    """Parse the miniature clause syntax described in the module doc."""
+    """Parse the miniature clause syntax described in the module doc.
+
+    Malformed input exits with a friendly message (``SystemExit``)
+    instead of a bare traceback — this is the CLI's front door.
+    """
     clauses = []
     bodies = CLAUSE_RE.findall(text)
     if not bodies:
-        raise ValueError(f"no clauses found in {text!r}")
+        raise SystemExit(
+            f"repro: no clauses found in {text!r} — write a query as "
+            f"parenthesized |-separated clauses, e.g. \"(R|S1)(S1|T)\"")
     for body in bodies:
         body = body.strip()
-        if body.startswith(("L:", "R:")):
-            side = "left" if body[0] == "L" else "right"
-            subs = [
-                [s.strip() for s in part.split("|") if s.strip()]
-                for part in body[2:].split(";")]
-            clauses.append(Clause(side, (), subs))
-            continue
-        atoms = [a.strip() for a in body.split("|") if a.strip()]
-        unaries = {a for a in atoms if a in ("R", "T")}
-        binaries = [a for a in atoms if a not in ("R", "T")]
-        if unaries == {"R", "T"}:
-            clauses.append(Clause("full", unaries, [binaries]))
-        elif unaries == {"R"}:
-            clauses.append(Clause("left", unaries, [binaries]))
-        elif unaries == {"T"}:
-            clauses.append(Clause("right", unaries, [binaries]))
-        else:
-            clauses.append(Clause.middle(*binaries))
+        try:
+            if body.startswith(("L:", "R:")):
+                side = "left" if body[0] == "L" else "right"
+                subs = [
+                    [s.strip() for s in part.split("|") if s.strip()]
+                    for part in body[2:].split(";")]
+                clauses.append(Clause(side, (), subs))
+                continue
+            atoms = [a.strip() for a in body.split("|") if a.strip()]
+            unaries = {a for a in atoms if a in ("R", "T")}
+            binaries = [a for a in atoms if a not in ("R", "T")]
+            if unaries == {"R", "T"}:
+                clauses.append(Clause("full", unaries, [binaries]))
+            elif unaries == {"R"}:
+                clauses.append(Clause("left", unaries, [binaries]))
+            elif unaries == {"T"}:
+                clauses.append(Clause("right", unaries, [binaries]))
+            else:
+                clauses.append(Clause.middle(*binaries))
+        except (ValueError, TypeError) as error:
+            raise SystemExit(
+                f"repro: bad clause \"({body})\": {error}") from None
     return Query(clauses)
 
 
 def parse_edges(text: str) -> list[tuple[int, int]]:
+    """Parse an edge list like ``"0-1,1-2"``; friendly errors on
+    malformed parts (``"0-"``, ``"3"``, ``"a-b"``)."""
     edges = []
     for part in text.split(","):
         part = part.strip()
         if not part:
             continue
-        a, b = part.split("-")
-        edges.append((int(a), int(b)))
+        pieces = part.split("-")
+        if len(pieces) != 2 or not pieces[0].strip() or \
+                not pieces[1].strip():
+            raise SystemExit(
+                f"repro: bad edge {part!r} — each comma-separated part "
+                f"must be two integers joined by '-', e.g. \"0-1,1-2\"")
+        try:
+            edges.append((int(pieces[0]), int(pieces[1])))
+        except ValueError:
+            raise SystemExit(
+                f"repro: bad edge {part!r} — endpoints must be "
+                f"integers, e.g. \"0-1,1-2\"") from None
     return edges
 
 
@@ -131,20 +153,77 @@ def cmd_h0(args) -> int:
     return 0
 
 
-def cmd_compile(args) -> int:
+def _block_workload(args):
+    """The (tid, formula) pair of a query's path-block lineage, with
+    the optional tier-2 store installed first."""
     from repro.reduction.blocks import path_block
+    from repro.tid import wmc
     from repro.tid.lineage import lineage
-    from repro.tid.wmc import compiled
 
+    if getattr(args, "store", None):
+        wmc.set_circuit_store(args.store)
     query = parse_query(args.query)
     tid = path_block(query, args.p)
-    formula = lineage(query, tid)
-    circuit = compiled(formula)
+    return query, tid, lineage(query, tid)
+
+
+def _load_circuit(path: str, formula):
+    """Deserialize a saved circuit and adopt it as ``formula``'s
+    compilation (exiting with a friendly message on mismatch)."""
+    from repro.booleans.circuit import Circuit
+    from repro.tid import wmc
+
+    try:
+        circuit = Circuit.from_bytes(open(path, "rb").read())
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read {path}: {error}") from None
+    except ValueError as error:
+        raise SystemExit(f"repro: {path}: {error}") from None
+    # A compiled circuit mentions exactly its formula's variables, so
+    # anything short of set equality means a different lineage — a
+    # subset match (e.g. a two-symbol query's lineage inside a
+    # three-symbol one) would silently compute the wrong query.
+    if circuit.variables() != formula.variables():
+        extra = circuit.variables() - formula.variables()
+        missing = formula.variables() - circuit.variables()
+        detail = []
+        if extra:
+            detail.append(f"{len(extra)} unknown tuple variables "
+                          f"(e.g. {sorted(extra, key=repr)[0]!r})")
+        if missing:
+            detail.append(f"{len(missing)} expected tuple variables "
+                          f"absent (e.g. "
+                          f"{sorted(missing, key=repr)[0]!r})")
+        raise SystemExit(
+            f"repro: {path} was compiled from a different lineage: "
+            + "; ".join(detail))
+    wmc.adopt(formula, circuit)
+    return circuit
+
+
+def cmd_compile(args) -> int:
+    from repro.tid.wmc import cache_info, compiled
+
+    query, tid, formula = _block_workload(args)
+    if args.load:
+        circuit = _load_circuit(args.load, formula)
+        source = f"loaded from {args.load}"
+    else:
+        before = cache_info()
+        circuit = compiled(formula)
+        after = cache_info()
+        if after["compiles"] > before["compiles"]:
+            source = "compiled"
+        elif after["store_hits"] > before["store_hits"]:
+            source = "disk store"
+        else:
+            source = "memory cache"
     stats = circuit.stats()
     print(f"query:          {query}")
     print(f"block:          B_{args.p}(u, v)")
     print(f"lineage:        {len(formula)} clauses over "
           f"{len(formula.variables())} tuple variables")
+    print(f"circuit:        {source}")
     print(f"circuit size:   {stats['size']} nodes, "
           f"{stats['edges']} edges, depth {stats['depth']}")
     print(f"node breakdown: {stats['decision_nodes']} decision, "
@@ -154,6 +233,48 @@ def cmd_compile(args) -> int:
     print(f"Pr(Q) at block weights: {value}")
     print(f"lineage model count:    "
           f"{circuit.model_count(formula.variables())}")
+    if args.save:
+        with open(args.save, "wb") as handle:
+            handle.write(circuit.to_bytes())
+        print(f"saved:          {args.save}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.evaluation import endpoint_weight_grid, probability_sweep
+    from repro.tid.database import r_tuple, t_tuple
+    from repro.tid.wmc import cache_info
+
+    query, tid, formula = _block_workload(args)
+    if args.load:
+        _load_circuit(args.load, formula)
+    k = args.grid
+    if k < 1:
+        raise SystemExit("repro: --grid must be at least 1")
+    r_u, t_v = r_tuple("u"), t_tuple("v")
+    if not {r_u, t_v} & formula.variables():
+        raise SystemExit(
+            f"repro: the lineage of {args.query!r} contains neither "
+            f"endpoint tuple R(u) nor T(v) — an endpoint sweep would "
+            f"evaluate the same weights at every grid point (queries "
+            f"without R/T atoms have nothing to sweep here)")
+    weight_maps = endpoint_weight_grid(formula, tid, k)
+    values = probability_sweep(
+        formula, weight_maps,
+        numeric="float" if args.float else "exact",
+        processes=args.processes)
+    print(f"query:   {query}")
+    print(f"block:   B_{args.p}(u, v), {k}-vector endpoint sweep"
+          f"{' (float fast path)' if args.float else ''}")
+    print(f"{'w(R(u))':>10s} {'w(T(v))':>10s}  Pr(Q)")
+    for weights, value in zip(weight_maps, values):
+        shown = value if args.float else str(value)
+        print(f"{str(weights[r_u]):>10s} {str(weights[t_v]):>10s}  "
+              f"{shown}")
+    info = cache_info()
+    print(f"compilations: {info['compiles']} "
+          f"(memory hits: {info['hits']}, "
+          f"disk hits: {info['store_hits']})")
     return 0
 
 
@@ -196,7 +317,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("query")
     p_compile.add_argument("--p", type=int, default=4,
                            help="path-block length (default 4)")
+    p_compile.add_argument("--save", metavar="PATH",
+                           help="serialize the circuit to PATH")
+    p_compile.add_argument("--load", metavar="PATH",
+                           help="load a previously --save'd circuit "
+                                "instead of compiling")
+    p_compile.add_argument("--store", metavar="DIR",
+                           help="content-addressed circuit store "
+                                "directory (two-tier cache; also "
+                                "honours $REPRO_CIRCUIT_STORE)")
     p_compile.set_defaults(fn=cmd_compile)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="batched endpoint-weight sweep over a query's path-block "
+             "lineage (compile once, evaluate many)")
+    p_sweep.add_argument("query")
+    p_sweep.add_argument("--p", type=int, default=4,
+                         help="path-block length (default 4)")
+    p_sweep.add_argument("--grid", type=int, default=8,
+                         help="number of weight vectors (default 8)")
+    p_sweep.add_argument("--float", action="store_true",
+                         help="float fast path (cross-checked against "
+                              "exact Fractions on sampled vectors)")
+    p_sweep.add_argument("--processes", type=int, default=None,
+                         help="split the sweep across N worker "
+                              "processes")
+    p_sweep.add_argument("--load", metavar="PATH",
+                         help="load a --save'd circuit instead of "
+                              "compiling")
+    p_sweep.add_argument("--store", metavar="DIR",
+                         help="content-addressed circuit store "
+                              "directory")
+    p_sweep.set_defaults(fn=cmd_sweep)
     return parser
 
 

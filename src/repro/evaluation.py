@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
+from repro.booleans.circuit import Circuit
 from repro.booleans.cnf import CNF
 from repro.core.queries import Query
 from repro.core.safety import is_safe
@@ -55,7 +56,11 @@ class EvaluationResult:
         if isinstance(other, EvaluationResult):
             return (self.value, self.method, self.safe) == \
                 (other.value, other.method, other.safe)
-        return self.value == other
+        # Delegate so numeric comparisons (Fraction, int, float) still
+        # work but genuinely foreign types get NotImplemented back,
+        # letting Python try the reflected __eq__ instead of forcing
+        # an unconditional False.
+        return self.value.__eq__(other)
 
     def __hash__(self):
         # A custom __eq__ suppresses the dataclass-generated __hash__,
@@ -130,17 +135,97 @@ def evaluate_batch(query: Query, tids: Iterable[TID],
     return [evaluate(query, tid, method) for tid in tids]
 
 
+def endpoint_weight_grid(formula: CNF, tid: TID, k: int,
+                         u="u", v="v") -> list[dict]:
+    """k weight vectors varying the R(u)/T(v) endpoint marginals over
+    a fixed block lineage — the Eq. 20 / interpolation grid shape
+    shared by the ``repro sweep`` CLI, ``benchmarks/bench_sweep.py``,
+    and the sweep tests.
+
+    Vector i pins R(u) to (i+1)/(k+2) and T(v) to (k+1-i)/(k+2); all
+    other tuple marginals stay at the TID's values.
+    """
+    from repro.tid.database import r_tuple, t_tuple
+
+    base = {var: tid.probability(var) for var in formula.variables()}
+    r_u, t_v = r_tuple(u), t_tuple(v)
+    grid = []
+    for i in range(k):
+        weights = dict(base)
+        weights[r_u] = Fraction(i + 1, k + 2)
+        weights[t_v] = Fraction(k + 1 - i, k + 2)
+        grid.append(weights)
+    return grid
+
+
+def _sweep_worker(payload):
+    """Evaluate one chunk of a sweep in a worker process.
+
+    The circuit travels as its serialized bytes (``Circuit.from_bytes``
+    is cheap relative to compilation) so workers never recompile.
+    """
+    data, chunk, default, numeric = payload
+    circuit = Circuit.from_bytes(data)
+    return circuit.probability_batch(chunk, default, numeric)
+
+
+def _chunked(items: list, chunks: int) -> list[list]:
+    size, extra = divmod(len(items), chunks)
+    out, start = [], 0
+    for i in range(chunks):
+        stop = start + size + (1 if i < extra else 0)
+        if stop > start:
+            out.append(items[start:stop])
+        start = stop
+    return out
+
+
 def probability_sweep(formula: CNF,
                       weight_maps: Sequence[Mapping | None],
-                      default: Fraction | None = None) -> list[Fraction]:
-    """Pr(F) under many weight vectors: compile once, evaluate many.
+                      default: Fraction | None = None,
+                      numeric: str = "exact",
+                      processes: int | None = None,
+                      cross_check: int = 2) -> list:
+    """Pr(F) under many weight vectors: compile once, sweep batched.
 
     This is the primitive behind the reduction pipelines' probability
     grids (block-matrix entries, Type-II theta-sweeps, interpolation
-    points): one exponential compilation, then one linear circuit pass
-    per weight map.  Each entry of ``weight_maps`` may be a mapping, a
-    callable, or None (all variables at ``default``, by default 1/2).
+    points): one exponential compilation (riding the two-tier circuit
+    cache), then a single node-ordered batched pass over all weight
+    maps (``Circuit.probability_batch``).  Each entry of
+    ``weight_maps`` may be a mapping, a callable, or None (all
+    variables at ``default``, by default 1/2).
+
+    ``numeric="float"`` switches the pass to hardware floats; up to
+    ``cross_check`` evenly-spaced vectors are then re-evaluated
+    exactly and an ``ArithmeticError`` is raised if the float result
+    drifts beyond 1e-9 relative tolerance.  ``processes`` > 1 splits
+    large grids across worker processes (mapping/None weight maps
+    only — callables do not pickle).
     """
     circuit = compiled(formula)
-    return [circuit.probability(weights, default)
-            for weights in weight_maps]
+    weight_maps = list(weight_maps)
+    if processes and processes > 1 and len(weight_maps) > 1:
+        if any(callable(w) for w in weight_maps):
+            raise ValueError(
+                "processes > 1 requires mapping (or None) weight maps; "
+                "callables cannot be sent to worker processes")
+        import multiprocessing
+
+        chunks = _chunked(weight_maps, min(processes, len(weight_maps)))
+        data = circuit.to_bytes()
+        payloads = [(data, chunk, default, numeric) for chunk in chunks]
+        with multiprocessing.Pool(len(chunks)) as pool:
+            parts = pool.map(_sweep_worker, payloads)
+        values = [v for part in parts for v in part]
+    else:
+        values = circuit.probability_batch(weight_maps, default, numeric)
+    if numeric == "float" and cross_check and weight_maps:
+        step = max(1, len(weight_maps) // cross_check)
+        for i in list(range(0, len(weight_maps), step))[:cross_check]:
+            exact = float(circuit.probability(weight_maps[i], default))
+            if abs(values[i] - exact) > 1e-9 * max(1.0, abs(exact)):
+                raise ArithmeticError(
+                    f"float sweep drifted at vector {i}: "
+                    f"float={values[i]!r} exact={exact!r}")
+    return values

@@ -49,15 +49,12 @@ def z_matrix_direct(query: Query, p: int) -> Matrix:
     circuit = compiled(lineage(query, tid))
     r_u, r_v = r_tuple("u"), r_tuple("v")
     base = tid.probability
-    rows = []
-    for a in (0, 1):
-        row = []
-        for b in (0, 1):
-            pinned = {r_u: Fraction(a), r_v: Fraction(b)}
-            row.append(circuit.probability(
-                lambda t, pinned=pinned: pinned.get(t, base(t))))
-        rows.append(row)
-    return Matrix(rows)
+    grid = [
+        (lambda t, pinned={r_u: Fraction(a), r_v: Fraction(b)}:
+            pinned.get(t, base(t)))
+        for a in (0, 1) for b in (0, 1)]
+    z00, z01, z10, z11 = circuit.probability_batch(grid)
+    return Matrix([[z00, z01], [z10, z11]])
 
 
 def z_matrix_power(query: Query, p: int,

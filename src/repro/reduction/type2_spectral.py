@@ -34,7 +34,7 @@ from repro.reduction.type2_blocks import type2_block
 from repro.reduction.type2_lattice import TypeIIStructure
 from repro.tid.database import TID, s_tuple
 from repro.tid.lineage import lineage
-from repro.tid.wmc import cnf_probability
+from repro.tid.wmc import cnf_probability, compiled
 
 HALF = Fraction(1, 2)
 
@@ -91,6 +91,54 @@ def link_matrix_type2(query: Query, symbol: str,
             row.append(cnf_probability(factor, block.probability))
         rows.append(row)
     return Matrix(rows)
+
+
+def link_matrix_sweep(query: Query, symbol: str,
+                      assignments, tag: str = "") -> list[Matrix]:
+    """The link matrices z(theta) for a sweep of theta-assignments.
+
+    For assignments with *interior* values (0 < p < 1) the block
+    lineage — and hence all four conditioned middle factors — is
+    independent of theta, so the whole sweep is four batched circuit
+    passes (one per factor, ``Circuit.probability_batch``) instead of
+    4k grounding-plus-search runs.  Assignments that pin tuples to 0
+    or 1 change the grounded lineage structurally (and with it which
+    components count as the middle factor), so those fall back to
+    per-assignment ``link_matrix_type2``; the returned matrices are
+    bit-identical to per-assignment extraction either way.
+    """
+    assignments = [dict(theta) for theta in assignments]
+    interior = all(
+        0 < Fraction(value) < 1
+        for theta in assignments for value in theta.values())
+    if not interior:
+        return [link_matrix_type2(query, symbol, theta, tag)
+                for theta in assignments]
+
+    block = type2_block(query, p=1, tag=tag)
+    formula = lineage(query, block)
+    s0 = s_tuple(symbol, f"r0{tag}", f"t0{tag}")
+    s1 = s_tuple(symbol, f"r1{tag}", f"t1{tag}")
+    middle = frozenset(
+        s_tuple(s, f"r1{tag}", f"t0{tag}")
+        for s in sorted(query.binary_symbols)) - {s0, s1}
+    base = block.probability
+    specs = [
+        (lambda t, pinned={token: Fraction(v)
+                           for token, v in theta.items()}:
+            pinned.get(t, base(t)))
+        for theta in assignments]
+    entries: dict[tuple[int, int], list[Fraction]] = {}
+    for a in (False, True):
+        for b in (False, True):
+            conditioned = formula.condition(s0, a).condition(s1, b)
+            factor = _middle_factor(conditioned, middle)
+            entries[int(a), int(b)] = \
+                compiled(factor).probability_batch(specs)
+    return [
+        Matrix([[entries[0, 0][i], entries[0, 1][i]],
+                [entries[1, 0][i], entries[1, 1][i]]])
+        for i in range(len(assignments))]
 
 
 def articulation_disconnects(query: Query, symbol: str,

@@ -7,10 +7,19 @@ once into a d-DNNF circuit (``repro.booleans.circuit``) whose trace
 mirrors the classic search — unit-clause conditioning,
 independent-component factorization, Shannon expansion on a most-shared
 variable — and every evaluation is then a single linear pass over the
-circuit.  A module-level cache keyed on the canonical CNF makes the
-repeated-evaluation workloads of the reductions (block-matrix grids,
-Type-II sweeps, Vandermonde interpolation) pay the exponential search
-at most once per formula.
+circuit.  A *two-tier* cache makes the repeated-evaluation workloads of
+the reductions (block-matrix grids, Type-II sweeps, Vandermonde
+interpolation) pay the exponential search at most once per formula:
+
+* tier 1 is an in-process LRU keyed on the canonical CNF, bounded both
+  by entry count and by cumulative circuit *size* (node count), so a
+  handful of giant circuits cannot pin gigabytes the way a pure entry
+  cap would;
+* tier 2 is an optional content-addressed disk store
+  (``repro.booleans.store``) shared across processes — install one via
+  ``set_circuit_store`` or the ``REPRO_CIRCUIT_STORE`` environment
+  variable and repeated CLI/service invocations skip recompilation
+  entirely.
 
 The pre-compilation recursive engine survives as
 ``shannon_probability``; it restarts its search on every call and is
@@ -19,6 +28,8 @@ kept as an independent validation oracle and as the benchmark baseline
 """
 
 from __future__ import annotations
+
+import os
 
 from collections import OrderedDict
 from fractions import Fraction
@@ -38,10 +49,95 @@ from repro.tid.lineage import lineage
 
 ONE = Fraction(1)
 
-#: Module-level compilation cache: canonical CNF -> compiled circuit,
-#: evicted least-recently-used beyond ``_CACHE_LIMIT`` entries.
+#: Tier-1 compilation cache: canonical CNF -> compiled circuit, LRU.
 _CIRCUIT_CACHE: OrderedDict[CNF, Circuit] = OrderedDict()
-_CACHE_LIMIT = 1024
+#: Secondary bound: maximum number of cached circuits.
+_CACHE_ENTRY_LIMIT = 1024
+#: Primary bound: maximum *cumulative* ``Circuit.size`` (node count)
+#: across all cached circuits — the actual memory proxy.
+_CACHE_NODE_LIMIT = 4_000_000
+_cache_nodes = 0
+
+#: Counters for observability and the warm-start acceptance tests.
+_stats = {"hits": 0, "store_hits": 0, "compiles": 0}
+
+#: Tier-2 disk store (``repro.booleans.store.CircuitStore``), or None.
+#: ``False`` means "not yet initialized from the environment".
+_STORE_ENV = "REPRO_CIRCUIT_STORE"
+_circuit_store = False
+
+
+def set_circuit_store(store) -> None:
+    """Install the tier-2 disk store.
+
+    ``store`` may be a ``CircuitStore``, a directory path (a store is
+    created there), or None to disable persistence.  When never called,
+    the ``REPRO_CIRCUIT_STORE`` environment variable (a directory path)
+    is consulted on first use.
+    """
+    global _circuit_store
+    if store is None or hasattr(store, "get"):
+        _circuit_store = store
+    else:
+        from repro.booleans.store import CircuitStore
+        _circuit_store = CircuitStore(store)
+
+
+def get_circuit_store():
+    """The active tier-2 store (resolving ``REPRO_CIRCUIT_STORE`` on
+    first call), or None."""
+    global _circuit_store
+    if _circuit_store is False:
+        path = os.environ.get(_STORE_ENV)
+        set_circuit_store(path if path else None)
+    return _circuit_store
+
+
+def set_cache_limits(max_nodes: int | None = None,
+                     max_entries: int | None = None) -> None:
+    """Tune the tier-1 bounds (None keeps the current value)."""
+    global _CACHE_NODE_LIMIT, _CACHE_ENTRY_LIMIT
+    if max_nodes is not None:
+        if max_nodes <= 0:
+            raise ValueError("max_nodes must be positive")
+        _CACHE_NODE_LIMIT = max_nodes
+    if max_entries is not None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        _CACHE_ENTRY_LIMIT = max_entries
+    _evict()
+
+
+def cache_info() -> dict:
+    """Tier-1 occupancy, limits, and lifetime counters."""
+    return {
+        "entries": len(_CIRCUIT_CACHE),
+        "nodes": _cache_nodes,
+        "entry_limit": _CACHE_ENTRY_LIMIT,
+        "node_limit": _CACHE_NODE_LIMIT,
+        **_stats,
+    }
+
+
+def _evict() -> None:
+    """Drop LRU entries until both bounds hold (the most recent entry
+    always survives, even when it alone exceeds the node limit)."""
+    global _cache_nodes
+    while len(_CIRCUIT_CACHE) > 1 and (
+            len(_CIRCUIT_CACHE) > _CACHE_ENTRY_LIMIT
+            or _cache_nodes > _CACHE_NODE_LIMIT):
+        _, evicted = _CIRCUIT_CACHE.popitem(last=False)
+        _cache_nodes -= evicted.size
+
+
+def _remember(formula: CNF, circuit: Circuit) -> None:
+    global _cache_nodes
+    replaced = _CIRCUIT_CACHE.pop(formula, None)
+    if replaced is not None:
+        _cache_nodes -= replaced.size
+    _CIRCUIT_CACHE[formula] = circuit
+    _cache_nodes += circuit.size
+    _evict()
 
 
 def compiled(formula: CNF) -> Circuit:
@@ -49,23 +145,45 @@ def compiled(formula: CNF) -> Circuit:
 
     Equal CNFs (structural equality is logical equivalence for
     minimized monotone CNFs) share one circuit across the whole
-    process; the cache is LRU-bounded so one-shot giant lineages cannot
-    pin memory forever.
+    process.  Lookup order: tier-1 memory LRU, then the disk store
+    (hits are promoted into memory), then compilation (the result is
+    written through to both tiers).
     """
     circuit = _CIRCUIT_CACHE.get(formula)
     if circuit is not None:
         _CIRCUIT_CACHE.move_to_end(formula)
+        _stats["hits"] += 1
         return circuit
+    store = get_circuit_store()
+    if store is not None:
+        circuit = store.get(formula)
+        if circuit is not None:
+            _stats["store_hits"] += 1
+            _remember(formula, circuit)
+            return circuit
     circuit = compile_cnf(formula)
-    _CIRCUIT_CACHE[formula] = circuit
-    if len(_CIRCUIT_CACHE) > _CACHE_LIMIT:
-        _CIRCUIT_CACHE.popitem(last=False)
+    _stats["compiles"] += 1
+    _remember(formula, circuit)
+    if store is not None:
+        store.put(formula, circuit)
     return circuit
 
 
+def adopt(formula: CNF, circuit: Circuit) -> None:
+    """Install a pre-built circuit (e.g. deserialized from a file) as
+    ``formula``'s compilation, so subsequent ``compiled``/sweep calls
+    skip the exponential search entirely."""
+    _remember(formula, circuit)
+
+
 def clear_circuit_cache() -> None:
-    """Drop all cached circuits (mainly for tests and benchmarks)."""
+    """Drop all tier-1 circuits and reset the counters (mainly for
+    tests and benchmarks; the disk store is untouched)."""
+    global _cache_nodes
     _CIRCUIT_CACHE.clear()
+    _cache_nodes = 0
+    for key in _stats:
+        _stats[key] = 0
 
 
 def probability(query: Query, tid: TID) -> Fraction:
@@ -121,15 +239,19 @@ def _probability(formula: CNF, prob, cache) -> Fraction:
 
 
 def _probability_uncached(formula: CNF, prob, cache) -> Fraction:
-    # Unit clauses force their variable true.
-    for clause in formula.clauses:
-        if len(clause) == 1:
-            (var,) = clause
-            p = Fraction(prob(var))
-            if p == 0:
-                return Fraction(0)
-            return p * _probability(formula.condition(var, True),
-                                    prob, cache)
+    # Unit clauses force their variable true.  Like the compiler
+    # (circuit.py), pick the min-by-repr unit rather than the first in
+    # frozenset iteration order, which varies with PYTHONHASHSEED —
+    # the result is the same either way, but the recursion trace (and
+    # hence timing and cache shape) stays run-to-run deterministic.
+    units = [clause for clause in formula.clauses if len(clause) == 1]
+    if units:
+        var = min((next(iter(c)) for c in units), key=repr)
+        p = Fraction(prob(var))
+        if p == 0:
+            return Fraction(0)
+        return p * _probability(formula.condition(var, True),
+                                prob, cache)
 
     groups = clause_components(formula)
     if len(groups) > 1:

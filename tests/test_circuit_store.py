@@ -1,0 +1,316 @@
+"""Circuit serialization, the content-addressed store, and the
+two-tier compilation cache."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.booleans.circuit import (
+    Circuit,
+    FORMAT_VERSION,
+    compile_cnf,
+    decode_token,
+    encode_token,
+)
+from repro.booleans.cnf import CNF
+from repro.booleans.store import CircuitStore, cnf_fingerprint
+from repro.core.catalog import rst_query
+from repro.reduction.blocks import path_block
+from repro.tid import wmc
+from repro.tid.lineage import lineage
+
+F = Fraction
+
+
+def block_formula(p=3):
+    query = rst_query()
+    tid = path_block(query, p)
+    return lineage(query, tid), tid
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    """Every test starts from a cold tier-1 cache and no disk store."""
+    wmc.clear_circuit_cache()
+    wmc.set_circuit_store(None)
+    yield
+    wmc.set_circuit_store(None)
+    wmc.clear_circuit_cache()
+
+
+class TestTokenCodec:
+    @pytest.mark.parametrize("token", [
+        "a", "", "S1", 0, -7, True, False, None,
+        ("R", "u"), ("S1", "u", "v"), ("nested", ("deep", 3), None),
+        (), ("mixed", 1, True, ""),
+    ])
+    def test_round_trip_exact(self, token):
+        decoded = decode_token(encode_token(token))
+        assert decoded == token
+        assert type(decoded) is type(token)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            encode_token(object())
+
+    def test_bool_int_not_confused(self):
+        assert decode_token(encode_token(True)) is True
+        assert decode_token(encode_token(1)) == 1
+        assert decode_token(encode_token(1)) is not True
+
+
+class TestSerialization:
+    def test_node_table_identical(self):
+        formula, _ = block_formula()
+        circuit = compile_cnf(formula)
+        clone = Circuit.from_bytes(circuit.to_bytes())
+        assert clone.nodes == circuit.nodes
+        assert clone.root == circuit.root
+
+    def test_every_query_bit_identical(self):
+        """probability, model_count, and marginals all round-trip to
+        bit-identical Fractions — the acceptance bar for persistence."""
+        formula, tid = block_formula()
+        circuit = compile_cnf(formula)
+        clone = Circuit.from_bytes(circuit.to_bytes())
+        weights = {var: F(i + 1, len(formula.variables()) + 2)
+                   for i, var in enumerate(
+                       sorted(formula.variables(), key=repr))}
+        assert clone.probability(weights) == \
+            circuit.probability(weights)
+        assert clone.probability(tid.probability) == \
+            circuit.probability(tid.probability)
+        assert clone.model_count(formula.variables()) == \
+            circuit.model_count(formula.variables())
+        assert clone.marginals(weights) == circuit.marginals(weights)
+
+    def test_serialization_is_deterministic(self):
+        formula, _ = block_formula()
+        circuit = compile_cnf(formula)
+        assert circuit.to_bytes() == circuit.to_bytes()
+        assert Circuit.from_bytes(circuit.to_bytes()).to_bytes() == \
+            circuit.to_bytes()
+
+    def test_hash_equal_tokens_stay_distinct(self):
+        """True and 1 are hash-equal, so naive dict interning would
+        collapse them; a hand-built circuit using both as variables
+        must round-trip to the same probabilities."""
+        from repro.booleans.circuit import AND, LEAF
+
+        circuit = Circuit(
+            ((LEAF, True), (LEAF, 1), (AND, (0, 1))), 2)
+        clone = Circuit.from_bytes(circuit.to_bytes())
+        assert clone.nodes == circuit.nodes
+        def lookup(var):
+            # A dict can't hold both keys (True == 1), so dispatch on
+            # the token's type explicitly.
+            if var is True:
+                return F(1, 3)
+            if type(var) is int and var == 1:
+                return F(1, 5)
+            raise AssertionError(var)
+
+        assert clone.probability(lookup) == circuit.probability(lookup)
+        assert clone.probability(lookup) == F(1, 15)
+
+    def test_constant_circuits(self):
+        for formula in (CNF.TRUE, CNF.FALSE):
+            circuit = compile_cnf(formula)
+            clone = Circuit.from_bytes(circuit.to_bytes())
+            assert clone.probability({}) == circuit.probability({})
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a serialized"):
+            Circuit.from_bytes(b"garbage")
+        with pytest.raises(ValueError, match="not a serialized"):
+            Circuit.from_bytes(b'{"format":"something-else"}\n')
+
+    def test_rejects_future_version(self):
+        formula, _ = block_formula(p=1)
+        data = compile_cnf(formula).to_bytes()
+        bumped = data.replace(
+            f'"version":{FORMAT_VERSION}'.encode(),
+            f'"version":{FORMAT_VERSION + 1}'.encode(), 1)
+        with pytest.raises(ValueError, match="unsupported"):
+            Circuit.from_bytes(bumped)
+
+    def test_rejects_truncation(self):
+        formula, _ = block_formula(p=1)
+        data = compile_cnf(formula).to_bytes()
+        truncated = b"\n".join(data.splitlines()[:-2]) + b"\n"
+        with pytest.raises(ValueError, match="truncated"):
+            Circuit.from_bytes(truncated)
+
+    def test_malformed_payloads_raise_valueerror_not_leaks(self):
+        """Every corruption shape must surface as ValueError — a
+        leaked KeyError/IndexError/TypeError would blow through the
+        store's corruption-as-miss handling."""
+        payloads = [
+            # header missing the variable table
+            b'{"format":"repro-ddnnf","version":1,"root":0,'
+            b'"nodes":1}\n["leaf",0]\n',
+            # leaf variable id beyond the table
+            b'{"format":"repro-ddnnf","version":1,"root":0,'
+            b'"nodes":1,"variables":[["s","a"]]}\n["leaf",5]\n',
+            # negative variable id must not wrap around
+            b'{"format":"repro-ddnnf","version":1,"root":2,'
+            b'"nodes":3,"variables":[["s","a"]]}\n["true"]\n'
+            b'["false"]\n["ite",-1,0,1]\n',
+            # wrong arity node line
+            b'{"format":"repro-ddnnf","version":1,"root":0,'
+            b'"nodes":1,"variables":[]}\n["ite"]\n',
+            # non-integer (float) ITE child index must fail at load,
+            # not crash later inside probability()
+            b'{"format":"repro-ddnnf","version":1,"root":2,'
+            b'"nodes":3,"variables":[["s","a"]]}\n["true"]\n'
+            b'["false"]\n["ite",0,1.0,0]\n',
+            # non-integer child id
+            b'{"format":"repro-ddnnf","version":1,"root":1,'
+            b'"nodes":2,"variables":[]}\n["true"]\n'
+            b'["and",["x"]]\n',
+            # malformed variable table entry
+            b'{"format":"repro-ddnnf","version":1,"root":0,'
+            b'"nodes":1,"variables":[["q"]]}\n["leaf",0]\n',
+        ]
+        for payload in payloads:
+            with pytest.raises(ValueError):
+                Circuit.from_bytes(payload)
+
+
+class TestFingerprint:
+    def test_order_independent(self):
+        a = CNF([["x", "y"], ["y", "z"]])
+        b = CNF([["z", "y"], ["y", "x"]])
+        assert a == b
+        assert cnf_fingerprint(a) == cnf_fingerprint(b)
+
+    def test_distinct_formulas_distinct_keys(self):
+        a = CNF([["x", "y"]])
+        b = CNF([["x"], ["y"]])
+        assert cnf_fingerprint(a) != cnf_fingerprint(b)
+
+    def test_tuple_tokens(self):
+        formula, _ = block_formula(p=1)
+        key = cnf_fingerprint(formula)
+        assert len(key) == 64
+        assert key == cnf_fingerprint(
+            CNF(list(formula.clauses)))
+
+
+class TestCircuitStore:
+    def test_put_get_round_trip(self, tmp_path):
+        formula, tid = block_formula()
+        circuit = compile_cnf(formula)
+        store = CircuitStore(tmp_path / "store")
+        store.put(formula, circuit)
+        assert formula in store
+        assert len(store) == 1
+        loaded = store.get(formula)
+        assert loaded.nodes == circuit.nodes
+        assert loaded.probability(tid.probability) == \
+            circuit.probability(tid.probability)
+
+    def test_miss_returns_none(self, tmp_path):
+        store = CircuitStore(tmp_path / "store")
+        assert store.get(CNF([["a"]])) is None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        formula, _ = block_formula(p=1)
+        store = CircuitStore(tmp_path / "store")
+        path = store.put(formula, compile_cnf(formula))
+        path.write_bytes(b"corrupted beyond repair")
+        assert store.get(formula) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        store = CircuitStore(tmp_path / "store")
+        formula = CNF([["a", "b"]])
+        store.put(formula, compile_cnf(formula))
+        store.clear()
+        assert len(store) == 0
+
+    def test_wrong_version_entry_is_miss_but_kept(self, tmp_path):
+        """Version skew is not corruption: a reader on another format
+        version must not destroy the entry for its writer."""
+        formula, _ = block_formula(p=1)
+        store = CircuitStore(tmp_path / "store")
+        path = store.put(formula, compile_cnf(formula))
+        data = path.read_bytes().replace(
+            f'"version":{FORMAT_VERSION}'.encode(),
+            f'"version":{FORMAT_VERSION + 1}'.encode(), 1)
+        path.write_bytes(data)
+        assert store.get(formula) is None
+        assert path.exists()
+
+
+class TestTwoTierCache:
+    def test_disk_store_skips_recompilation(self, tmp_path):
+        formula, tid = block_formula()
+        wmc.set_circuit_store(str(tmp_path / "store"))
+        first = wmc.compiled(formula)
+        assert wmc.cache_info()["compiles"] == 1
+        value = first.probability(tid.probability)
+
+        wmc.clear_circuit_cache()  # new process, warm disk
+        second = wmc.compiled(formula)
+        info = wmc.cache_info()
+        assert info["compiles"] == 0
+        assert info["store_hits"] == 1
+        assert second.nodes == first.nodes
+        assert second.probability(tid.probability) == value
+        # Promotion: now cached in memory.
+        wmc.compiled(formula)
+        assert wmc.cache_info()["hits"] == 1
+
+    def test_adopt_skips_compilation(self):
+        formula, _ = block_formula(p=2)
+        circuit = compile_cnf(formula)
+        wmc.adopt(formula, Circuit.from_bytes(circuit.to_bytes()))
+        assert wmc.compiled(formula).nodes == circuit.nodes
+        info = wmc.cache_info()
+        assert info["compiles"] == 0
+        assert info["hits"] == 1
+
+    def test_readopt_does_not_double_count_nodes(self):
+        """Replacing a cached entry must swap its size, not add it
+        again — otherwise repeated adopt/compile cycles inflate the
+        node accounting and trigger premature eviction."""
+        formula, _ = block_formula(p=2)
+        circuit = wmc.compiled(formula)
+        assert wmc.cache_info()["nodes"] == circuit.size
+        for _ in range(3):
+            wmc.adopt(formula, circuit)
+        info = wmc.cache_info()
+        assert info["entries"] == 1
+        assert info["nodes"] == circuit.size
+
+    def test_eviction_bounded_by_nodes(self):
+        wmc.set_cache_limits(max_nodes=30, max_entries=1024)
+        try:
+            for i in range(12):
+                wmc.compiled(CNF([[f"x{i}", f"y{i}"],
+                                  [f"y{i}", f"z{i}"]]))
+            info = wmc.cache_info()
+            assert info["nodes"] <= 30
+            assert info["entries"] < 12
+        finally:
+            wmc.set_cache_limits(max_nodes=4_000_000,
+                                 max_entries=1024)
+
+    def test_newest_entry_survives_even_when_oversized(self):
+        wmc.set_cache_limits(max_nodes=2, max_entries=1024)
+        try:
+            formula, _ = block_formula(p=2)
+            circuit = wmc.compiled(formula)
+            assert circuit.size > 2
+            assert wmc.cache_info()["entries"] == 1
+            assert wmc.compiled(formula) is circuit  # still cached
+        finally:
+            wmc.set_cache_limits(max_nodes=4_000_000,
+                                 max_entries=1024)
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            wmc.set_cache_limits(max_nodes=0)
+        with pytest.raises(ValueError):
+            wmc.set_cache_limits(max_entries=-1)

@@ -25,9 +25,13 @@ class TestParseQuery:
         sides = {c.side for c in q.clauses}
         assert sides == {"left", "middle", "right"}
 
-    def test_no_clauses_raises(self):
-        with pytest.raises(ValueError):
+    def test_no_clauses_exits_friendly(self):
+        with pytest.raises(SystemExit, match="no clauses found"):
             parse_query("S1")
+
+    def test_empty_clause_exits_friendly(self):
+        with pytest.raises(SystemExit, match="bad clause"):
+            parse_query("()")
 
 
 class TestParseEdges:
@@ -36,6 +40,18 @@ class TestParseEdges:
 
     def test_empty_parts_skipped(self):
         assert parse_edges("0-1,") == [(0, 1)]
+
+    def test_dangling_edge_exits_friendly(self):
+        with pytest.raises(SystemExit, match="bad edge '0-'"):
+            parse_edges("0-")
+
+    def test_missing_dash_exits_friendly(self):
+        with pytest.raises(SystemExit, match="bad edge '3'"):
+            parse_edges("3")
+
+    def test_non_integer_exits_friendly(self):
+        with pytest.raises(SystemExit, match="integers"):
+            parse_edges("a-b")
 
 
 class TestCommands:
@@ -67,3 +83,84 @@ class TestCommands:
                      "--edges", "0-0", "--check"]) == 0
         out = capsys.readouterr().out
         assert "#PP2CNF = 3" in out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "(R|S1)(S1|T)", "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit size" in out
+        assert "Pr(Q) at block weights" in out
+
+    def test_compile_save_load_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "circuit.ddnnf")
+        assert main(["compile", "(R|S1)(S1|T)", "--p", "2",
+                     "--save", path]) == 0
+        saved = capsys.readouterr().out
+        assert main(["compile", "(R|S1)(S1|T)", "--p", "2",
+                     "--load", path]) == 0
+        loaded = capsys.readouterr().out
+        assert f"loaded from {path}" in loaded
+        # Bit-identical report modulo provenance lines.
+        strip = [l for l in saved.splitlines()
+                 if not l.startswith(("circuit:", "saved:"))]
+        strip_loaded = [l for l in loaded.splitlines()
+                        if not l.startswith("circuit:")]
+        assert strip == strip_loaded
+
+    def test_compile_load_wrong_lineage_exits(self, tmp_path):
+        path = str(tmp_path / "circuit.ddnnf")
+        assert main(["compile", "(R|S1)(S1|T)", "--p", "2",
+                     "--save", path]) == 0
+        with pytest.raises(SystemExit, match="different lineage"):
+            main(["compile", "(R|S2)(S2|T)", "--p", "2",
+                  "--load", path])
+
+    def test_compile_load_subset_lineage_exits(self, tmp_path):
+        """A circuit whose variables are a proper *subset* of the
+        target lineage's must be rejected too (set equality, not just
+        no-extras) — it would silently compute the wrong query."""
+        path = str(tmp_path / "circuit.ddnnf")
+        assert main(["compile", "(R|S1)(S1|T)", "--p", "2",
+                     "--save", path]) == 0
+        with pytest.raises(SystemExit, match="absent"):
+            main(["compile", "(R|S1)(S1|S2)(S2|T)", "--p", "2",
+                  "--load", path])
+
+    def test_compile_load_corrupt_exits(self, tmp_path):
+        path = tmp_path / "bad.ddnnf"
+        path.write_bytes(b"not a circuit")
+        with pytest.raises(SystemExit, match="not a serialized"):
+            main(["compile", "(R|S1)(S1|T)", "--p", "2",
+                  "--load", str(path)])
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "(R|S1)(S1|T)", "--p", "2",
+                     "--grid", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4-vector endpoint sweep" in out
+        assert "compilations:" in out
+
+    def test_sweep_without_endpoints_exits_friendly(self):
+        """A query with no R/T atoms has nothing for the endpoint
+        sweep to vary — refuse rather than print a constant grid."""
+        with pytest.raises(SystemExit, match="neither endpoint"):
+            main(["sweep", "(S1|S2)", "--p", "2", "--grid", "3"])
+
+    def test_sweep_with_store_skips_recompilation(self, capsys,
+                                                  tmp_path):
+        from repro.tid import wmc
+
+        store_dir = str(tmp_path / "store")
+        try:
+            wmc.clear_circuit_cache()  # cold start: populate the store
+            assert main(["sweep", "(R|S1)(S1|T)", "--p", "2",
+                         "--grid", "4", "--store", store_dir]) == 0
+            capsys.readouterr()
+            wmc.clear_circuit_cache()  # cold memory, warm disk
+            assert main(["sweep", "(R|S1)(S1|T)", "--p", "2",
+                         "--grid", "4", "--store", store_dir]) == 0
+            out = capsys.readouterr().out
+            assert "compilations: 0" in out
+            assert "disk hits: 1" in out
+        finally:
+            wmc.set_circuit_store(None)
+            wmc.clear_circuit_cache()

@@ -52,3 +52,38 @@ class TestRouting:
         result = evaluate(q, small_tid(q))
         assert result == result.value
         assert (result == EvaluationResult(result.value, "wmc", False))
+
+
+class TestResultEquality:
+    """EvaluationResult.__eq__ must delegate unknown types so the
+    reflected comparison runs (returning NotImplemented, not False)."""
+
+    def test_foreign_type_gets_notimplemented(self):
+        result = EvaluationResult(F(1, 2), "wmc", False)
+        assert result.__eq__("1/2") is NotImplemented
+        assert result.__eq__(object()) is NotImplemented
+
+    def test_reflected_comparison_wins(self):
+        class Half:
+            """A type whose reflected __eq__ recognizes results."""
+
+            def __eq__(self, other):
+                return isinstance(other, EvaluationResult) and \
+                    other.value == F(1, 2)
+
+        result = EvaluationResult(F(1, 2), "wmc", False)
+        # result.__eq__(Half()) is NotImplemented, so Python falls back
+        # to Half().__eq__(result); before the fix this was plain False.
+        assert result == Half()
+        assert Half() == result
+
+    def test_numeric_comparisons_still_work(self):
+        result = EvaluationResult(F(1, 2), "wmc", False)
+        assert result == F(1, 2)
+        assert result == 0.5
+        assert result != F(1, 3)
+        assert EvaluationResult(F(1), "wmc", False) == 1
+
+    def test_hash_consistent_with_fraction(self):
+        result = EvaluationResult(F(1, 2), "wmc", False)
+        assert hash(result) == hash(F(1, 2))
