@@ -1,0 +1,46 @@
+"""Machine-readable benchmark artifacts.
+
+Script-mode benchmarks (``python benchmarks/bench_*.py [--quick]``)
+call ``emit(name, payload)`` alongside their console report to write a
+``BENCH_<name>.json`` of timings, speedup ratios, and verdicts.  CI
+uploads these files as workflow artifacts, turning the perf trajectory
+into a per-commit time series instead of a pass/fail bit.
+
+The destination directory is ``$BENCH_JSON_DIR`` (created if missing),
+defaulting to the current working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+from pathlib import Path
+
+
+def emit(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` must be JSON-serializable; a small provenance header
+    (wall-clock time, python version, hash seed) is merged in so
+    artifacts from different CI matrix legs stay distinguishable.
+    """
+    out_dir = Path(os.environ.get("BENCH_JSON_DIR") or ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "unix_time": round(time.time(), 3),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "hashseed": os.environ.get("PYTHONHASHSEED", ""),
+        **payload,
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"bench artifact: {path}", file=sys.stderr)
+    return path

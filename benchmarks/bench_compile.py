@@ -10,14 +10,17 @@ widen with k.
 Runable two ways:
 
 * ``pytest benchmarks/bench_compile.py`` — pytest-benchmark timings;
-* ``python benchmarks/bench_compile.py`` — a self-contained smoke run
-  (used by CI) that times both pipelines, prints the speedup, and
-  exits non-zero if compile-once loses at k = 4.
+* ``python benchmarks/bench_compile.py [--quick]`` — a self-contained
+  smoke run (used by CI with ``--quick``) that times both pipelines,
+  prints the speedup, exits non-zero if compile-once loses at k = 4,
+  and writes ``BENCH_compile.json``.
 """
 
 import sys
 import time
 from fractions import Fraction
+
+import _bench_io
 
 from repro.booleans.circuit import compile_cnf
 from repro.core import catalog
@@ -99,11 +102,13 @@ def _best_of(fn, *args, repeats=3):
     return best, result
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
     print(f"{'k':>4s} {'recursive':>12s} {'compiled':>12s} "
           f"{'speedup':>8s}")
     failed = False
-    for k in (1, 4, 8, 16):
+    records = []
+    for k in (1, 4, 8) if quick else (1, 4, 8, 16):
         formula, weight_maps = block_workload(p=8, k=k)
         t_rec, rec = _best_of(run_recursive, formula, weight_maps)
         t_cmp, cmp_ = _best_of(run_compiled, formula, weight_maps)
@@ -116,6 +121,17 @@ def main() -> int:
             failed = True
         print(f"{k:4d} {t_rec * 1e3:10.2f}ms {t_cmp * 1e3:10.2f}ms "
               f"{t_rec / t_cmp:7.1f}x{verdict}")
+        records.append({
+            "k": k,
+            "recursive_ms": round(t_rec * 1e3, 2),
+            "compiled_ms": round(t_cmp * 1e3, 2),
+            "speedup": round(t_rec / t_cmp, 2),
+        })
+    _bench_io.emit("compile", {
+        "quick": quick,
+        "shapes": records,
+        "ok": not failed,
+    })
     if failed:
         print("perf regression: compilation no longer pays for k >= 4",
               file=sys.stderr)

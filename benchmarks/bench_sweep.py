@@ -22,6 +22,8 @@ import tempfile
 import time
 from fractions import Fraction
 
+import _bench_io
+
 from repro.booleans.circuit import compile_cnf
 from repro.core import catalog
 from repro.evaluation import endpoint_weight_grid
@@ -94,31 +96,40 @@ def _best_of(fn, *args, repeats=3):
     return best, result
 
 
-def check_batched_beats_per_vector(p, k) -> bool:
+def check_batched_beats_per_vector(p, k) -> tuple[bool, dict]:
     formula, weight_maps = sweep_workload(p=p, k=k)
     circuit = compile_cnf(formula)
     t_pv, pv = _best_of(run_per_vector, circuit, weight_maps)
     t_b, batched = _best_of(run_batched, circuit, weight_maps)
     t_f, floats = _best_of(run_batched_float, circuit, weight_maps)
+    record = {
+        "p": p, "k": k,
+        "per_vector_ms": round(t_pv * 1e3, 2),
+        "batched_ms": round(t_b * 1e3, 2),
+        "batched_speedup": round(t_pv / t_b, 2),
+        "float_ms": round(t_f * 1e3, 2),
+        "float_speedup": round(t_pv / t_f, 2),
+    }
     if batched != pv:
         print(f"VALUE MISMATCH: batched != per-vector at p={p} k={k}",
               file=sys.stderr)
-        return False
+        return False, record
     if any(abs(a - float(t)) > 1e-9 for a, t in zip(floats, pv)):
         print(f"FLOAT DRIFT beyond 1e-9 at p={p} k={k}",
               file=sys.stderr)
-        return False
+        return False, record
     verdict = "" if t_b < t_pv else "  <-- batched LOST"
     print(f"p={p:2d} k={k:3d} per-vector {t_pv * 1e3:8.2f}ms  "
           f"batched {t_b * 1e3:8.2f}ms ({t_pv / t_b:4.1f}x)  "
           f"float {t_f * 1e3:7.2f}ms ({t_pv / t_f:5.1f}x){verdict}")
-    return t_b < t_pv
+    return t_b < t_pv, record
 
 
-def check_warm_start(p, k) -> bool:
+def check_warm_start(p, k) -> tuple[bool, dict]:
     """A populated disk store + cold memory cache must run the whole
     sweep with zero recompilations and bit-identical Fractions."""
     formula, weight_maps = sweep_workload(p=p, k=k)
+    record = {"p": p, "k": k}
     with tempfile.TemporaryDirectory() as tmp:
         try:
             wmc.clear_circuit_cache()
@@ -128,25 +139,29 @@ def check_warm_start(p, k) -> bool:
             if wmc.cache_info()["compiles"] != 1:
                 print("warm-start setup did not compile exactly once",
                       file=sys.stderr)
-                return False
+                return False, record
 
             wmc.clear_circuit_cache()  # simulate a new process
             start = time.perf_counter()
             circuit = wmc.compiled(formula)
             values = circuit.probability_batch(weight_maps)
             elapsed = time.perf_counter() - start
+            record["warm_sweep_ms"] = round(elapsed * 1e3, 2)
             info = wmc.cache_info()
+            record["compiles"] = info["compiles"]
+            record["store_hits"] = info["store_hits"]
+            record["store_misses"] = info["store_misses"]
             if info["compiles"] != 0 or info["store_hits"] != 1:
                 print(f"warm start recompiled: {info}", file=sys.stderr)
-                return False
+                return False, record
             if values != expected:
                 print("warm start values differ from fresh compilation",
                       file=sys.stderr)
-                return False
+                return False, record
             print(f"warm start: load + {k}-vector sweep in "
                   f"{elapsed * 1e3:.2f}ms, 0 compilations, "
                   f"bit-identical values")
-            return True
+            return True, record
         finally:
             wmc.set_circuit_store(None)
             wmc.clear_circuit_cache()
@@ -156,9 +171,20 @@ def main(argv=None) -> int:
     quick = "--quick" in (argv if argv is not None else sys.argv[1:])
     shapes = [(6, 16)] if quick else [(6, 16), (8, 64)]
     ok = True
+    records = []
     for p, k in shapes:
-        ok &= check_batched_beats_per_vector(p, k)
-    ok &= check_warm_start(6 if quick else 8, 16 if quick else 64)
+        shape_ok, record = check_batched_beats_per_vector(p, k)
+        ok &= shape_ok
+        records.append(record)
+    warm_ok, warm = check_warm_start(6 if quick else 8,
+                                     16 if quick else 64)
+    ok &= warm_ok
+    _bench_io.emit("sweep", {
+        "quick": quick,
+        "shapes": records,
+        "warm_start": warm,
+        "ok": bool(ok),
+    })
     if not ok:
         print("perf regression: batched sweeps or warm starts broke",
               file=sys.stderr)

@@ -14,7 +14,7 @@ from fractions import Fraction
 
 from repro.core import catalog
 from repro.core.final import find_final, is_final
-from repro.core.safety import is_safe, is_unsafe, query_length, query_type
+from repro.core.safety import is_unsafe, query_length, query_type
 from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
 from repro.tid.lifted import lifted_probability
 from repro.tid.wmc import probability

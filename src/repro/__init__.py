@@ -17,10 +17,14 @@ The public API re-exports the main objects:
   matrices, the Type-I Cook reduction, the zig-zag rewriting, and the
   Type-II lattice/Moebius apparatus);
 * the circuit runtime: :class:`Circuit` / ``compile_cnf`` (d-DNNF
-  compilation, batched sweeps, versioned serialization),
-  :class:`CircuitStore` / ``cnf_fingerprint`` (content-addressed
-  persistence), and ``set_circuit_store`` (process-wide two-tier
-  caching).
+  compilation, batched sweeps, world sampling, versioned
+  serialization), :class:`CircuitStore` / ``cnf_fingerprint``
+  (content-addressed persistence), and ``set_circuit_store``
+  (process-wide two-tier caching);
+* budgeted approximation: ``compile_cnf(..., budget_nodes=...)`` /
+  :class:`CompilationBudgetExceeded`, ``estimate_probability`` /
+  :class:`ProbabilityEstimate` (Monte-Carlo with Hoeffding bounds),
+  and ``cnf_probability_auto`` (exact under budget, else estimate).
 """
 
 from repro.core import (
@@ -49,9 +53,17 @@ from repro.counting import (
     P2CNF,
     PP2CNF,
 )
-from repro.booleans.circuit import Circuit, compile_cnf
+from repro.booleans.circuit import (
+    Circuit,
+    CompilationBudgetExceeded,
+    compile_cnf,
+)
+from repro.booleans.approximate import (
+    ProbabilityEstimate,
+    estimate_probability,
+)
 from repro.booleans.store import CircuitStore, cnf_fingerprint
-from repro.tid.wmc import set_circuit_store
+from repro.tid.wmc import cnf_probability_auto, set_circuit_store
 from repro.evaluation import (
     EvaluationResult,
     evaluate,
@@ -88,7 +100,11 @@ __all__ = [
     "EvaluationResult",
     "Circuit",
     "CircuitStore",
+    "CompilationBudgetExceeded",
+    "ProbabilityEstimate",
     "cnf_fingerprint",
+    "cnf_probability_auto",
+    "estimate_probability",
     "set_circuit_store",
     "compile_cnf",
     "__version__",

@@ -1,9 +1,21 @@
 """Monotone Boolean formulas in CNF, connectivity analysis,
 arithmetization (the bridge between logic and algebra of Section 1.6),
-and knowledge compilation to d-DNNF circuits."""
+knowledge compilation to d-DNNF circuits, and budgeted approximate
+counting with confidence bounds."""
 
 from repro.booleans.cnf import CNF, Clause
-from repro.booleans.circuit import Circuit, compile_cnf
+from repro.booleans.circuit import (
+    Circuit,
+    CompilationBudgetExceeded,
+    compile_cnf,
+)
+from repro.booleans.approximate import (
+    AutoProbability,
+    AutoSweep,
+    ProbabilityEstimate,
+    estimate_probability,
+    hoeffding_sample_count,
+)
 from repro.booleans.connectivity import (
     is_connected,
     disconnects,
@@ -16,7 +28,13 @@ __all__ = [
     "CNF",
     "Circuit",
     "Clause",
+    "CompilationBudgetExceeded",
+    "AutoProbability",
+    "AutoSweep",
+    "ProbabilityEstimate",
     "compile_cnf",
+    "estimate_probability",
+    "hoeffding_sample_count",
     "is_connected",
     "disconnects",
     "variable_disconnects",

@@ -40,7 +40,9 @@ Two runtime features round the IR out into a reusable artifact:
 
 from __future__ import annotations
 
+import heapq
 import json
+import random
 
 from fractions import Fraction
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
@@ -64,6 +66,21 @@ class UnsupportedVersionError(ValueError):
     """A well-formed circuit payload written by a different format
     version — distinguishable from corruption so shared stores are not
     destructively 'repaired' across version skew."""
+
+
+class CompilationBudgetExceeded(RuntimeError):
+    """``compile_cnf`` interned more nodes than its ``budget_nodes``.
+
+    Exact d-DNNF compilation is worst-case exponential; callers that
+    cannot afford an open-ended search set a budget and treat this
+    exception as the signal to degrade to approximate counting
+    (``repro.booleans.approximate.estimate_probability``)."""
+
+    def __init__(self, budget_nodes: int):
+        super().__init__(
+            f"d-DNNF compilation exceeded the budget of "
+            f"{budget_nodes} interned nodes")
+        self.budget_nodes = budget_nodes
 
 Weights = Mapping | Callable[[Hashable], Fraction] | None
 
@@ -374,6 +391,136 @@ class Circuit:
         return grads
 
     # ------------------------------------------------------------------
+    # World sampling and top-k enumeration (top-down passes)
+    # ------------------------------------------------------------------
+    def sample(self, weights: Weights = None, k: int = 1,
+               rng: random.Random | int | None = None,
+               default: Fraction | None = None) -> list[dict]:
+        """k exact samples from Pr(world | F) — the distribution of the
+        independent variables conditioned on the formula being true.
+
+        One forward pass computes every node's probability; each sample
+        is then a top-down walk: at a decision node the true-branch is
+        taken with its exact posterior odds (determinism makes the two
+        branches disjoint events), a product node descends into all
+        children (decomposability makes them independent), and
+        variables the walk never constrains are drawn from their prior
+        marginals.  Each returned world is a ``{var: bool}`` dict over
+        all circuit variables and satisfies the formula.
+
+        ``rng`` is a ``random.Random``, an int seed, or None (seed 0);
+        results are reproducible across processes and hash seeds —
+        the walk order is the node table's, and the free-variable
+        fill-in iterates in sorted-repr order.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        lookup = make_lookup(weights, default)
+        vals = self._forward(lookup)
+        total = vals[self.root]
+        if total == 0:
+            raise ValueError(
+                "cannot sample: the formula has probability 0 under "
+                "these weights")
+        if not isinstance(rng, random.Random):
+            rng = random.Random(0 if rng is None else rng)
+        # Posterior branch thresholds and prior marginals depend only
+        # on the weights, not the sample — hoist the exact-Fraction
+        # arithmetic out of the per-sample loop.
+        thresholds: list = [None] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            if node[0] is ITE:
+                p = Fraction(lookup(node[1]))
+                hi_mass = p * vals[node[2]]
+                mass = hi_mass + (ONE - p) * vals[node[3]]
+                if mass:  # zero-mass nodes are never visited below
+                    thresholds[i] = hi_mass / mass
+        priors = [(var, Fraction(lookup(var)))
+                  for var in sorted(self.variables(), key=repr)]
+        worlds = []
+        for _ in range(k):
+            world: dict = {}
+            stack = [self.root]
+            while stack:
+                i = stack.pop()
+                node = self.nodes[i]
+                kind = node[0]
+                if kind is ITE:
+                    # float < Fraction compares exactly in Python, and
+                    # random() < 1 always holds, so a branch of
+                    # posterior mass 0 (or 1) is never (always) taken.
+                    if rng.random() < thresholds[i]:
+                        world[node[1]] = True
+                        stack.append(node[2])
+                    else:
+                        world[node[1]] = False
+                        stack.append(node[3])
+                elif kind is AND:
+                    stack.extend(node[1])
+                elif kind is LEAF:
+                    world[node[1]] = True
+            for var, prior in priors:
+                if var not in world:
+                    world[var] = rng.random() < prior
+            worlds.append(world)
+        return worlds
+
+    def top_k_worlds(self, weights: Weights = None, k: int = 1,
+                     default: Fraction | None = None) -> list[tuple]:
+        """The k most probable satisfying worlds, as ``(probability,
+        world)`` pairs sorted by descending probability.
+
+        A bottom-up k-best pass: every node carries the k best partial
+        worlds over its *mentioned* variables; product nodes combine
+        children by a lazy best-first merge (their variable sets are
+        disjoint), decision nodes smooth each branch over the variables
+        only the other branch mentions before merging (determinism
+        keeps the merged worlds distinct).  Worlds of probability 0 are
+        excluded, so fewer than k pairs may return.  Ties are broken on
+        the world's sorted repr, keeping the order reproducible across
+        hash seeds.
+        """
+        if k <= 0:
+            return []
+        lookup = make_lookup(weights, default)
+        scopes: list[frozenset] = [frozenset()] * len(self.nodes)
+        best: list[list] = [[] for _ in self.nodes]
+        for i, node in enumerate(self.nodes):
+            kind = node[0]
+            if kind is ITE:
+                var, hi, lo = node[1], node[2], node[3]
+                p = Fraction(lookup(var))
+                scopes[i] = scopes[hi] | scopes[lo] | {var}
+                hi_side = _kbest_scale(best[hi], p, var, True)
+                hi_side = _kbest_smooth(
+                    hi_side, scopes[lo] - scopes[hi], lookup, k)
+                lo_side = _kbest_scale(best[lo], ONE - p, var, False)
+                lo_side = _kbest_smooth(
+                    lo_side, scopes[hi] - scopes[lo], lookup, k)
+                best[i] = _kbest_top(hi_side + lo_side, k)
+            elif kind is AND:
+                scope = frozenset()
+                acc = [(ONE, ())]
+                for child in node[1]:
+                    scope |= scopes[child]
+                    acc = _kbest_product(acc, best[child], k)
+                    if not acc:
+                        break
+                scopes[i] = scope
+                best[i] = acc
+            elif kind is LEAF:
+                scopes[i] = frozenset((node[1],))
+                w = Fraction(lookup(node[1]))
+                best[i] = [(w, ((node[1], True),))] if w else []
+            elif kind is TRUE:
+                best[i] = [(ONE, ())]
+        worlds = _kbest_smooth(
+            best[self.root],
+            self.variables() - scopes[self.root], lookup, k)
+        return [(prob, dict(assignment))
+                for prob, assignment in _kbest_top(worlds, k)]
+
+    # ------------------------------------------------------------------
     # Serialization (versioned, exact round trip)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
@@ -512,12 +659,77 @@ class Circuit:
 
 
 # ----------------------------------------------------------------------
+# k-best candidate lists (Circuit.top_k_worlds)
+# ----------------------------------------------------------------------
+# A candidate is ``(probability, assignment)`` with the assignment a
+# tuple of (var, bool) pairs; lists are kept sorted by descending
+# probability with ties broken on the world's sorted repr.
+
+def _world_key(assignment) -> tuple:
+    return tuple(sorted((repr(var), val) for var, val in assignment))
+
+
+def _kbest_top(candidates: list, k: int) -> list:
+    return sorted(
+        candidates, key=lambda c: (-c[0], _world_key(c[1])))[:k]
+
+
+def _kbest_scale(candidates: list, factor: Fraction, var, val) -> list:
+    """Multiply each candidate by ``factor`` and bind ``var`` to
+    ``val`` (order-preserving: ``factor`` is a constant)."""
+    if not factor:
+        return []
+    return [(prob * factor, assignment + ((var, val),))
+            for prob, assignment in candidates]
+
+
+def _kbest_product(a: list, b: list, k: int) -> list:
+    """Top-k pairwise products of two descending candidate lists over
+    disjoint variable sets — a lazy best-first frontier walk, so only
+    O(k) of the |a| x |b| grid is materialized."""
+    if not a or not b:
+        return []
+    heap = [(-(a[0][0] * b[0][0]), 0, 0)]
+    seen = {(0, 0)}
+    out = []
+    while heap and len(out) < k:
+        _, i, j = heapq.heappop(heap)
+        out.append((a[i][0] * b[j][0], a[i][1] + b[j][1]))
+        for i2, j2 in ((i + 1, j), (i, j + 1)):
+            if i2 < len(a) and j2 < len(b) and (i2, j2) not in seen:
+                seen.add((i2, j2))
+                heapq.heappush(heap, (-(a[i2][0] * b[j2][0]), i2, j2))
+    return out
+
+
+def _kbest_smooth(candidates: list, free_vars, lookup, k: int) -> list:
+    """Extend candidates over variables they do not mention (each free
+    variable contributes its two independent outcomes); worlds with a
+    0-probability outcome are dropped."""
+    for var in sorted(free_vars, key=repr):
+        p = Fraction(lookup(var))
+        options = []
+        if p:
+            options.append((p, ((var, True),)))
+        if p != ONE:
+            options.append((ONE - p, ((var, False),)))
+        options = _kbest_top(options, 2)
+        candidates = _kbest_product(candidates, options, k)
+    return candidates
+
+
+# ----------------------------------------------------------------------
 # Compilation
 # ----------------------------------------------------------------------
 class _Compiler:
     """Hash-consing compiler from minimized monotone CNFs to circuits."""
 
-    def __init__(self):
+    def __init__(self, budget_nodes: int | None = None):
+        if budget_nodes is not None and budget_nodes < 2:
+            # The two constant nodes below always exist; a budget that
+            # cannot even hold them is a caller error, not a blow-up.
+            raise ValueError("budget_nodes must be at least 2")
+        self.budget_nodes = budget_nodes
         self.nodes: list[tuple] = []
         self._intern_table: dict[tuple, int] = {}
         self.true_id = self._intern((TRUE,))
@@ -527,6 +739,9 @@ class _Compiler:
     def _intern(self, node: tuple) -> int:
         nid = self._intern_table.get(node)
         if nid is None:
+            if self.budget_nodes is not None and \
+                    len(self.nodes) >= self.budget_nodes:
+                raise CompilationBudgetExceeded(self.budget_nodes)
             nid = len(self.nodes)
             self.nodes.append(node)
             self._intern_table[node] = nid
@@ -601,7 +816,8 @@ class _Compiler:
         return self.decide(var, hi, lo)
 
 
-def compile_cnf(formula: CNF) -> Circuit:
+def compile_cnf(formula: CNF,
+                budget_nodes: int | None = None) -> Circuit:
     """Compile a monotone CNF into a d-DNNF circuit.
 
     Compilation costs about one run of the recursive WMC engine; every
@@ -609,7 +825,13 @@ def compile_cnf(formula: CNF) -> Circuit:
     call is linear in the circuit size.  Callers that expect to reuse
     circuits should go through ``repro.tid.wmc.compiled``, the
     module-level compilation cache.
+
+    ``budget_nodes`` caps the interned-node count: once the compiler
+    would intern one node past the budget it raises
+    ``CompilationBudgetExceeded`` (abandoning the partial circuit), the
+    signal for budgeted callers to degrade to approximate counting
+    (``repro.booleans.approximate``).
     """
-    compiler = _Compiler()
+    compiler = _Compiler(budget_nodes)
     root = compiler.compile(formula)
     return Circuit(tuple(compiler.nodes), root)

@@ -7,6 +7,7 @@ Usage (after installation):
     python -m repro reduce --edges "0-1,1-2" --vars 3
     python -m repro h0 --left 2 --right 2 --edges "0-0,1-1"
     python -m repro compile "(R|S1)(S1|S2)(S2|T)" --p 4
+    python -m repro estimate "(R|S1)(S1|T)" --p 6 --epsilon 0.05
 
 The tiny query syntax covers Type-I bipartite queries: a conjunction of
 parenthesized clauses, each a |-separated list of symbols; "R" and "T"
@@ -20,6 +21,8 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+
+from fractions import Fraction
 
 from repro.core.catalog import CENSUS
 from repro.core.clauses import Clause
@@ -201,7 +204,47 @@ def _load_circuit(path: str, formula):
     return circuit
 
 
+def _print_estimate(query, args, formula, tid, reason: str):
+    """Run and report the Monte-Carlo estimator (the degraded path of
+    ``repro compile --budget`` and the whole of ``repro estimate``)."""
+    from repro.booleans.approximate import estimate_probability
+
+    estimate = estimate_probability(
+        formula, tid.probability,
+        epsilon=args.epsilon, delta=args.delta, rng=args.seed)
+    print(f"query:      {query}")
+    print(f"block:      B_{args.p}(u, v)")
+    print(f"lineage:    {len(formula)} clauses over "
+          f"{len(formula.variables())} tuple variables")
+    print(f"engine:     estimate ({reason})")
+    print(f"Pr(Q) ~=    {estimate.estimate} "
+          f"({float(estimate.estimate):.6f})")
+    print(f"interval:   [{estimate.low}, {estimate.high}] "
+          f"(+/- {estimate.epsilon}, "
+          f"confidence {1 - Fraction(estimate.delta)})")
+    print(f"samples:    {estimate.samples} "
+          f"({estimate.successes} satisfying)")
+    return estimate
+
+
+def cmd_estimate(args) -> int:
+    from repro.tid.wmc import compiled
+
+    query, tid, formula = _block_workload(args)
+    estimate = _print_estimate(query, args, formula, tid,
+                               f"seed {args.seed}")
+    if args.check:
+        exact = compiled(formula).probability(tid.probability)
+        inside = estimate.contains(exact)
+        print(f"exact:      {exact} ({float(exact):.6f}) — "
+              f"{'inside' if inside else 'OUTSIDE'} the interval")
+        if not inside:
+            return 1
+    return 0
+
+
 def cmd_compile(args) -> int:
+    from repro.booleans.circuit import CompilationBudgetExceeded
     from repro.tid.wmc import cache_info, compiled
 
     query, tid, formula = _block_workload(args)
@@ -210,7 +253,20 @@ def cmd_compile(args) -> int:
         source = f"loaded from {args.load}"
     else:
         before = cache_info()
-        circuit = compiled(formula)
+        try:
+            circuit = compiled(formula, args.budget)
+        except CompilationBudgetExceeded:
+            _print_estimate(
+                query, args, formula, tid,
+                f"compilation exceeded {args.budget} nodes")
+            if args.save:
+                # The caller asked for an artifact that was never
+                # produced — fail loudly so scripts can tell.
+                print(f"repro: --save {args.save} skipped: no circuit "
+                      f"was compiled (budget exceeded); raise --budget "
+                      f"or drop --save", file=sys.stderr)
+                return 1
+            return 0
         after = cache_info()
         if after["compiles"] > before["compiles"]:
             source = "compiled"
@@ -259,22 +315,55 @@ def cmd_sweep(args) -> int:
             f"evaluate the same weights at every grid point (queries "
             f"without R/T atoms have nothing to sweep here)")
     weight_maps = endpoint_weight_grid(formula, tid, k)
-    values = probability_sweep(
-        formula, weight_maps,
-        numeric="float" if args.float else "exact",
-        processes=args.processes)
+    engine = "exact"
+    estimates = None
+    if args.budget is not None:
+        from repro.booleans.approximate import estimate_probability_batch
+        from repro.booleans.circuit import CompilationBudgetExceeded
+        from repro.tid.wmc import compiled
+
+        # Probe-then-dispatch rather than wmc.probability_batch_auto:
+        # the exact branch must keep --float's cross-check and
+        # --processes (which the auto primitive does not carry) without
+        # evaluating the batch twice.
+        try:
+            compiled(formula, args.budget)
+        except CompilationBudgetExceeded:
+            engine = "estimate"
+            estimates = estimate_probability_batch(
+                formula, weight_maps, args.epsilon, args.delta,
+                args.seed)
+            values = [estimate.estimate for estimate in estimates]
+    if engine == "exact":
+        # Compiled (under budget if one was given, so the circuit is
+        # already cached) — the exact path keeps its --float
+        # cross-check and --processes behaviour either way.
+        values = probability_sweep(
+            formula, weight_maps,
+            numeric="float" if args.float else "exact",
+            processes=args.processes)
     print(f"query:   {query}")
+    # --float and --processes only apply to the exact engine; don't
+    # claim a numeric mode that did not run.
     print(f"block:   B_{args.p}(u, v), {k}-vector endpoint sweep"
-          f"{' (float fast path)' if args.float else ''}")
+          f"{' (float fast path)' if args.float and engine == 'exact' else ''}")
+    print(f"engine:  {engine}"
+          + (f" (compilation exceeded {args.budget} nodes; "
+             f"+/- {estimates[0].epsilon} at confidence "
+             f"{1 - Fraction(estimates[0].delta)}, "
+             f"{estimates[0].samples} samples per vector)"
+             if estimates else ""))
     print(f"{'w(R(u))':>10s} {'w(T(v))':>10s}  Pr(Q)")
     for weights, value in zip(weight_maps, values):
-        shown = value if args.float else str(value)
+        shown = value if args.float and engine == "exact" else str(value)
         print(f"{str(weights[r_u]):>10s} {str(weights[t_v]):>10s}  "
               f"{shown}")
     info = cache_info()
     print(f"compilations: {info['compiles']} "
           f"(memory hits: {info['hits']}, "
-          f"disk hits: {info['store_hits']})")
+          f"disk hits: {info['store_hits']}, "
+          f"disk misses: {info['store_misses']}, "
+          f"budget aborts: {info['budget_aborts']})")
     return 0
 
 
@@ -310,6 +399,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_h0.add_argument("--check", action="store_true")
     p_h0.set_defaults(fn=cmd_h0)
 
+    from repro.booleans.approximate import DEFAULT_DELTA, DEFAULT_EPSILON
+
+    def estimator_flags(p, with_budget=True):
+        """The shared budget/estimator knobs (``Fraction`` parses
+        both "0.05" and "1/20" exactly)."""
+        if with_budget:
+            p.add_argument("--budget", type=int, metavar="NODES",
+                           default=None,
+                           help="abort exact compilation past NODES "
+                                "interned nodes and answer with the "
+                                "Monte-Carlo estimator instead")
+        p.add_argument("--epsilon", type=Fraction,
+                       default=DEFAULT_EPSILON,
+                       help="additive error bound of the estimator "
+                            f"(default {DEFAULT_EPSILON})")
+        p.add_argument("--delta", type=Fraction,
+                       default=DEFAULT_DELTA,
+                       help="failure probability of the estimator's "
+                            f"confidence interval "
+                            f"(default {DEFAULT_DELTA})")
+        p.add_argument("--seed", type=int, default=0,
+                       help="random seed of the estimator (default 0)")
+
     p_compile = sub.add_parser(
         "compile",
         help="compile a query's path-block lineage to a d-DNNF "
@@ -326,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="content-addressed circuit store "
                                 "directory (two-tier cache; also "
                                 "honours $REPRO_CIRCUIT_STORE)")
+    estimator_flags(p_compile)
     p_compile.set_defaults(fn=cmd_compile)
 
     p_sweep = sub.add_parser(
@@ -349,7 +462,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--store", metavar="DIR",
                          help="content-addressed circuit store "
                               "directory")
+    estimator_flags(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_estimate = sub.add_parser(
+        "estimate",
+        help="Monte-Carlo Pr(Q) over a query's path-block lineage "
+             "with a Hoeffding confidence interval (no compilation)")
+    p_estimate.add_argument("query")
+    p_estimate.add_argument("--p", type=int, default=4,
+                            help="path-block length (default 4)")
+    p_estimate.add_argument("--check", action="store_true",
+                            help="also compile exactly and verify the "
+                                 "interval contains the true value "
+                                 "(exits 1 when it does not)")
+    p_estimate.add_argument("--store", metavar="DIR",
+                            help="content-addressed circuit store "
+                                 "directory (used by --check)")
+    estimator_flags(p_estimate, with_budget=False)
+    p_estimate.set_defaults(fn=cmd_estimate)
     return parser
 
 

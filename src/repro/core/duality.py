@@ -16,10 +16,9 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.core.clauses import Clause
 from repro.core.queries import Query
 from repro.core.symbols import LEFT_UNARY, RIGHT_UNARY
-from repro.tid.database import TID, r_tuple, s_tuple, t_tuple
+from repro.tid.database import TID
 from repro.tid.wmc import probability
 
 

@@ -17,7 +17,6 @@ from typing import Iterable
 
 from repro.core.clauses import Clause
 from repro.core.homomorphism import minimize_clause_set
-from repro.core.symbols import LEFT_UNARY, RIGHT_UNARY
 
 
 class Query:

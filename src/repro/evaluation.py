@@ -4,15 +4,20 @@
 
 * safe queries (Definition 2.4) go to the polynomial-time lifted
   evaluator — the PTIME side of Theorem 2.1;
-* unsafe queries fall back to the exact weighted model counter, which
+* unsafe queries fall back to the weighted model counter, which
   compiles the lineage to a d-DNNF circuit and evaluates it (they are
   #P-hard, Theorem 2.2, so no general shortcut exists — but the
-  compilation is paid at most once per lineage);
+  compilation is paid at most once per lineage).  Under the default
+  ``"auto"`` method the compilation runs under a node budget and
+  degrades to Monte-Carlo estimation with a Hoeffding confidence
+  interval when the circuit blows up — the result's ``method`` then
+  reads ``"estimate"`` and its ``estimate`` field carries the bound;
 * ``method`` can force a specific engine — ``"compiled"`` addresses the
   circuit backend explicitly, ``"wmc"`` the shared compile+evaluate
-  oracle, ``"shannon"`` the legacy recursive search — or request
-  ``"cross-check"``, which runs every applicable engine and asserts
-  agreement (used throughout the test-suite and benchmarks).
+  oracle, ``"shannon"`` the legacy recursive search, ``"estimate"``
+  the Monte-Carlo estimator — or request ``"cross-check"``, which runs
+  every applicable exact engine and asserts agreement (used throughout
+  the test-suite and benchmarks).
 
 Batch workloads should use ``evaluate_batch`` (many databases, one
 query) or ``probability_sweep`` (one lineage, many weight vectors):
@@ -30,7 +35,14 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
-from repro.booleans.circuit import Circuit
+from repro.booleans.approximate import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    ProbabilityEstimate,
+    estimate_probability,
+    estimate_probability_batch,
+)
+from repro.booleans.circuit import Circuit, CompilationBudgetExceeded
 from repro.booleans.cnf import CNF
 from repro.core.queries import Query
 from repro.core.safety import is_safe
@@ -38,19 +50,31 @@ from repro.tid.brute import probability_brute
 from repro.tid.database import TID
 from repro.tid.lifted import lifted_probability
 from repro.tid.lineage import lineage
-from repro.tid.wmc import compiled, probability, shannon_probability
+from repro.tid.wmc import (
+    DEFAULT_BUDGET_NODES,
+    cnf_probability_auto,
+    compiled,
+    probability,
+    shannon_probability,
+)
 
 METHODS = ("auto", "lifted", "wmc", "compiled", "shannon", "brute",
-           "cross-check")
+           "estimate", "cross-check")
 
 
 @dataclass(frozen=True)
 class EvaluationResult:
-    """Pr(Q) together with provenance of how it was computed."""
+    """Pr(Q) together with provenance of how it was computed.
+
+    ``estimate`` is populated only when the Monte-Carlo engine
+    answered (``method == "estimate"``): ``value`` is then the point
+    estimate and ``estimate`` carries its Hoeffding interval.
+    """
 
     value: Fraction
     method: str
     safe: bool
+    estimate: ProbabilityEstimate | None = None
 
     def __eq__(self, other):
         if isinstance(other, EvaluationResult):
@@ -77,9 +101,19 @@ def _shannon_query_probability(query: Query, tid: TID) -> Fraction:
     return shannon_probability(lineage(query, tid), tid.probability)
 
 
-def evaluate(query: Query, tid: TID, method: str = "auto"
-             ) -> EvaluationResult:
-    """Pr(Q) over the TID, routed per the dichotomy."""
+def evaluate(query: Query, tid: TID, method: str = "auto", *,
+             budget_nodes: int | None = DEFAULT_BUDGET_NODES,
+             epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
+             rng=None) -> EvaluationResult:
+    """Pr(Q) over the TID, routed per the dichotomy.
+
+    ``budget_nodes``/``epsilon``/``delta``/``rng`` govern the
+    ``"auto"`` and ``"estimate"`` methods: ``auto`` answers exactly
+    (method ``"lifted"`` or ``"wmc"``) whenever it can, and falls back
+    to the estimator — recording ``"estimate"`` and the Hoeffding
+    interval on the result — only when exact compilation of an unsafe
+    query's lineage exceeds the node budget.
+    """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
     safe = is_safe(query)
@@ -87,7 +121,30 @@ def evaluate(query: Query, tid: TID, method: str = "auto"
         if safe:
             return EvaluationResult(lifted_probability(query, tid),
                                     "lifted", True)
-        return EvaluationResult(probability(query, tid), "wmc", False)
+        if query.is_false():
+            return EvaluationResult(Fraction(0), "wmc", False)
+        answer = cnf_probability_auto(
+            lineage(query, tid), tid.probability,
+            budget_nodes=budget_nodes, epsilon=epsilon, delta=delta,
+            rng=rng)
+        if answer.engine == "estimate":
+            return EvaluationResult(answer.value, "estimate", False,
+                                    answer.estimate)
+        return EvaluationResult(answer.value, "wmc", False)
+    if method == "estimate":
+        if query.is_false():
+            # No sampling needed: Pr is exactly 0, reported as a
+            # degenerate zero-width interval so the documented
+            # invariant (method == "estimate" implies a populated
+            # estimate) holds.
+            zero = Fraction(0)
+            return EvaluationResult(
+                zero, "estimate", safe,
+                ProbabilityEstimate(zero, zero, zero, 0, 0))
+        estimate = estimate_probability(
+            lineage(query, tid), tid.probability, epsilon, delta, rng)
+        return EvaluationResult(estimate.estimate, "estimate", safe,
+                                estimate)
     if method == "lifted":
         return EvaluationResult(lifted_probability(query, tid),
                                 "lifted", safe)
@@ -124,15 +181,23 @@ def evaluate(query: Query, tid: TID, method: str = "auto"
 
 
 def evaluate_batch(query: Query, tids: Iterable[TID],
-                   method: str = "auto") -> list[EvaluationResult]:
+                   method: str = "auto", *,
+                   budget_nodes: int | None = DEFAULT_BUDGET_NODES,
+                   epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
+                   rng=None) -> list[EvaluationResult]:
     """Pr(Q) over many databases, compiling each distinct lineage once.
 
     Databases that ground to the same lineage CNF (same domains and
     certain/absent tuples, arbitrary probabilities elsewhere) share a
     single compilation through the module-level circuit cache, so the
     marginal cost of each extra database is one linear circuit pass.
+    The ``auto`` budget/estimator knobs apply per database; a lineage
+    past budget degrades that database's result to an estimate without
+    affecting the others.
     """
-    return [evaluate(query, tid, method) for tid in tids]
+    return [evaluate(query, tid, method, budget_nodes=budget_nodes,
+                     epsilon=epsilon, delta=delta, rng=rng)
+            for tid in tids]
 
 
 def endpoint_weight_grid(formula: CNF, tid: TID, k: int,
@@ -185,7 +250,10 @@ def probability_sweep(formula: CNF,
                       default: Fraction | None = None,
                       numeric: str = "exact",
                       processes: int | None = None,
-                      cross_check: int = 2) -> list:
+                      cross_check: int = 2, *,
+                      budget_nodes: int | None = None,
+                      epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
+                      rng=None) -> list:
     """Pr(F) under many weight vectors: compile once, sweep batched.
 
     This is the primitive behind the reduction pipelines' probability
@@ -202,7 +270,30 @@ def probability_sweep(formula: CNF,
     drifts beyond 1e-9 relative tolerance.  ``processes`` > 1 splits
     large grids across worker processes (mapping/None weight maps
     only — callables do not pickle).
+
+    Passing ``budget_nodes`` switches the sweep to the ``auto``
+    policy: if exact compilation exceeds the budget, each weight
+    vector is answered by a Hoeffding (epsilon, delta) estimate
+    instead (one sampling run per vector, a shared seeded ``rng``).
+    The return stays a plain value list either way; callers that need
+    the engine/interval provenance should use
+    ``repro.tid.wmc.probability_batch_auto`` directly.
     """
+    if budget_nodes is not None:
+        try:
+            compiled(formula, budget_nodes)
+        except CompilationBudgetExceeded:
+            values = [estimate.estimate for estimate in
+                      estimate_probability_batch(
+                          formula, weight_maps, epsilon, delta, rng,
+                          default)]
+            # Keep the documented value type of the requested numeric
+            # mode even on the degraded engine.
+            return [float(v) for v in values] \
+                if numeric == "float" else values
+        # Under budget: the circuit is now cached, so the exact path
+        # below — batched pass, float cross-check, worker processes —
+        # proceeds without recompiling.
     circuit = compiled(formula)
     weight_maps = list(weight_maps)
     if processes and processes > 1 and len(weight_maps) > 1:

@@ -26,16 +26,25 @@ from repro.algebra.eigen2x2 import (
     spectral_decomposition_2x2,
 )
 from repro.algebra.matrices import Matrix
+from repro.booleans.approximate import DEFAULT_DELTA, DEFAULT_EPSILON
 from repro.core.queries import Query
 from repro.reduction.blocks import path_block
 from repro.tid.database import r_tuple
 from repro.tid.lineage import lineage
-from repro.tid.wmc import compiled
+from repro.tid.wmc import (
+    DEFAULT_BUDGET_NODES,
+    compiled,
+    probability_batch_auto,
+)
 
 HALF = Fraction(1, 2)
 
 
-def z_matrix_direct(query: Query, p: int) -> Matrix:
+def z_matrix_direct(query: Query, p: int, *,
+                    method: str = "exact",
+                    budget_nodes: int | None = DEFAULT_BUDGET_NODES,
+                    epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
+                    rng=None) -> Matrix:
     """A(p) computed honestly: ground B_p(u, v), compile the lineage
     once, and sweep the endpoint conditioning grid over the circuit.
 
@@ -44,16 +53,31 @@ def z_matrix_direct(query: Query, p: int) -> Matrix:
     over one compiled circuit with the endpoint weights overridden —
     the probabilities are bit-identical to conditioning structurally
     and re-running WMC per entry.
+
+    ``method="auto"`` runs the sweep under the compilation budget and
+    degrades each entry to a Hoeffding estimate when the lineage blows
+    up (``budget_nodes``/``epsilon``/``delta``/``rng`` as in
+    ``repro.tid.wmc.probability_batch_auto``); the default is the
+    unconditionally exact path.
     """
     tid = path_block(query, p)
-    circuit = compiled(lineage(query, tid))
+    formula = lineage(query, tid)
     r_u, r_v = r_tuple("u"), r_tuple("v")
     base = tid.probability
     grid = [
         (lambda t, pinned={r_u: Fraction(a), r_v: Fraction(b)}:
             pinned.get(t, base(t)))
         for a in (0, 1) for b in (0, 1)]
-    z00, z01, z10, z11 = circuit.probability_batch(grid)
+    if method == "auto":
+        answer = probability_batch_auto(
+            formula, grid, budget_nodes=budget_nodes,
+            epsilon=epsilon, delta=delta, rng=rng)
+        z00, z01, z10, z11 = answer.values
+    elif method == "exact":
+        z00, z01, z10, z11 = compiled(formula).probability_batch(grid)
+    else:
+        raise ValueError(
+            f"method must be 'exact' or 'auto', got {method!r}")
     return Matrix([[z00, z01], [z10, z11]])
 
 

@@ -19,8 +19,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping
 
-from repro.booleans.cnf import CNF
-from repro.booleans.connectivity import disconnects, is_connected
+from repro.booleans.connectivity import disconnects
 from repro.core.queries import Query
 from repro.reduction.type2_blocks import dead_end_count, type2_block
 from repro.reduction.type2_lattice import TypeIIStructure

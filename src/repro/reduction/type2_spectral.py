@@ -32,9 +32,16 @@ from repro.core.queries import Query
 from repro.core.safety import is_safe
 from repro.reduction.type2_blocks import type2_block
 from repro.reduction.type2_lattice import TypeIIStructure
-from repro.tid.database import TID, s_tuple
+from repro.booleans.approximate import DEFAULT_DELTA, DEFAULT_EPSILON
+from repro.tid.database import s_tuple
 from repro.tid.lineage import lineage
-from repro.tid.wmc import cnf_probability, compiled
+from repro.tid.wmc import (
+    DEFAULT_BUDGET_NODES,
+    cnf_probability,
+    cnf_probability_auto,
+    probability_batch_auto,
+    compiled,
+)
 
 HALF = Fraction(1, 2)
 
@@ -61,7 +68,11 @@ def _middle_factor(conditioned: CNF, middle_tuples: frozenset) -> CNF:
 
 def link_matrix_type2(query: Query, symbol: str,
                       assignment: Mapping[tuple, Fraction] | None = None,
-                      tag: str = "") -> Matrix:
+                      tag: str = "", *,
+                      method: str = "exact",
+                      budget_nodes: int | None = DEFAULT_BUDGET_NODES,
+                      epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
+                      rng=None) -> Matrix:
     """The 2x2 matrix z for one zig-zag step (p = 1).
 
     Conditioning S_0 = S(r0, t0) and S_1 = S(r1, t1) on (a, b) isolates
@@ -71,7 +82,14 @@ def link_matrix_type2(query: Query, symbol: str,
     the shared compilation cache, so repeated link-matrix extractions
     over the same block (the spectral checks, the exponential-form
     verification, the assignment sweeps) compile each factor only once.
+
+    ``method="auto"`` evaluates each factor under the compilation
+    budget, degrading to a Hoeffding estimate past it; the default is
+    unconditionally exact.
     """
+    if method not in ("exact", "auto"):
+        raise ValueError(
+            f"method must be 'exact' or 'auto', got {method!r}")
     block = type2_block(query, p=1, tag=tag)
     if assignment:
         for token, value in assignment.items():
@@ -88,13 +106,23 @@ def link_matrix_type2(query: Query, symbol: str,
         for b in (False, True):
             conditioned = formula.condition(s0, a).condition(s1, b)
             factor = _middle_factor(conditioned, middle)
-            row.append(cnf_probability(factor, block.probability))
+            if method == "auto":
+                row.append(cnf_probability_auto(
+                    factor, block.probability,
+                    budget_nodes=budget_nodes, epsilon=epsilon,
+                    delta=delta, rng=rng).value)
+            else:
+                row.append(cnf_probability(factor, block.probability))
         rows.append(row)
     return Matrix(rows)
 
 
 def link_matrix_sweep(query: Query, symbol: str,
-                      assignments, tag: str = "") -> list[Matrix]:
+                      assignments, tag: str = "", *,
+                      method: str = "exact",
+                      budget_nodes: int | None = DEFAULT_BUDGET_NODES,
+                      epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
+                      rng=None) -> list[Matrix]:
     """The link matrices z(theta) for a sweep of theta-assignments.
 
     For assignments with *interior* values (0 < p < 1) the block
@@ -106,13 +134,23 @@ def link_matrix_sweep(query: Query, symbol: str,
     components count as the middle factor), so those fall back to
     per-assignment ``link_matrix_type2``; the returned matrices are
     bit-identical to per-assignment extraction either way.
+
+    ``method="auto"`` runs each factor under the compilation budget
+    and degrades its sweep lanes to Hoeffding estimates past it; the
+    default is unconditionally exact.
     """
+    if method not in ("exact", "auto"):
+        raise ValueError(
+            f"method must be 'exact' or 'auto', got {method!r}")
     assignments = [dict(theta) for theta in assignments]
     interior = all(
         0 < Fraction(value) < 1
         for theta in assignments for value in theta.values())
     if not interior:
-        return [link_matrix_type2(query, symbol, theta, tag)
+        return [link_matrix_type2(query, symbol, theta, tag,
+                                  method=method,
+                                  budget_nodes=budget_nodes,
+                                  epsilon=epsilon, delta=delta, rng=rng)
                 for theta in assignments]
 
     block = type2_block(query, p=1, tag=tag)
@@ -133,8 +171,13 @@ def link_matrix_sweep(query: Query, symbol: str,
         for b in (False, True):
             conditioned = formula.condition(s0, a).condition(s1, b)
             factor = _middle_factor(conditioned, middle)
-            entries[int(a), int(b)] = \
-                compiled(factor).probability_batch(specs)
+            if method == "auto":
+                entries[int(a), int(b)] = probability_batch_auto(
+                    factor, specs, budget_nodes=budget_nodes,
+                    epsilon=epsilon, delta=delta, rng=rng).values
+            else:
+                entries[int(a), int(b)] = \
+                    compiled(factor).probability_batch(specs)
     return [
         Matrix([[entries[0, 0][i], entries[0, 1][i]],
                 [entries[1, 0][i], entries[1, 1][i]]])

@@ -35,8 +35,17 @@ from collections import OrderedDict
 from fractions import Fraction
 from typing import Mapping
 
+from repro.booleans.approximate import (
+    AutoProbability,
+    AutoSweep,
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    estimate_probability,
+    estimate_probability_batch,
+)
 from repro.booleans.circuit import (
     Circuit,
+    CompilationBudgetExceeded,
     branch_variable,
     compile_cnf,
     make_lookup,
@@ -58,8 +67,29 @@ _CACHE_ENTRY_LIMIT = 1024
 _CACHE_NODE_LIMIT = 4_000_000
 _cache_nodes = 0
 
+#: Default exact-compilation budget of the ``auto`` policy: generous
+#: enough that every workload in the test-suite and benchmarks compiles
+#: exactly, small enough to abort genuinely adversarial lineages well
+#: before they exhaust memory.
+DEFAULT_BUDGET_NODES = 250_000
+
 #: Counters for observability and the warm-start acceptance tests.
-_stats = {"hits": 0, "store_hits": 0, "compiles": 0}
+#: ``store_hits``/``store_misses`` cover the tier-2 disk store (misses
+#: are only counted when a store is attached), so CI logs show whether
+#: a warm start actually warm-started; ``budget_aborts`` counts
+#: compilations abandoned by the ``auto`` policy's node budget.
+_stats = {"hits": 0, "store_hits": 0, "store_misses": 0,
+          "compiles": 0, "budget_aborts": 0}
+
+#: Negative cache for the auto policy: formula -> the largest budget
+#: known to be insufficient.  A blown budget means any request at or
+#: below it fails too, so repeat auto calls on the same adversarial
+#: lineage (e.g. ``evaluate_batch`` over many databases sharing one
+#: lineage) skip straight to the estimator instead of redoing the
+#: aborted exponential search.  Bounded FIFO; success (or ``adopt``)
+#: clears the entry.
+_BUDGET_FAILURES: OrderedDict[CNF, int] = OrderedDict()
+_BUDGET_FAILURE_LIMIT = 128
 
 #: Tier-2 disk store (``repro.booleans.store.CircuitStore``), or None.
 #: ``False`` means "not yet initialized from the environment".
@@ -109,12 +139,17 @@ def set_cache_limits(max_nodes: int | None = None,
 
 
 def cache_info() -> dict:
-    """Tier-1 occupancy, limits, and lifetime counters."""
+    """Both cache tiers at a glance: tier-1 occupancy and limits, the
+    lifetime counters (memory hits, disk-store hits *and* misses,
+    compilations, budget aborts), and whether a tier-2 store is
+    attached — enough to read warm-start behaviour off a CI log."""
+    store = get_circuit_store()
     return {
         "entries": len(_CIRCUIT_CACHE),
         "nodes": _cache_nodes,
         "entry_limit": _CACHE_ENTRY_LIMIT,
         "node_limit": _CACHE_NODE_LIMIT,
+        "store_attached": store is not None,
         **_stats,
     }
 
@@ -140,7 +175,8 @@ def _remember(formula: CNF, circuit: Circuit) -> None:
     _evict()
 
 
-def compiled(formula: CNF) -> Circuit:
+def compiled(formula: CNF,
+             budget_nodes: int | None = None) -> Circuit:
     """The d-DNNF circuit of ``formula``, compiled at most once.
 
     Equal CNFs (structural equality is logical equivalence for
@@ -148,6 +184,16 @@ def compiled(formula: CNF) -> Circuit:
     process.  Lookup order: tier-1 memory LRU, then the disk store
     (hits are promoted into memory), then compilation (the result is
     written through to both tiers).
+
+    ``budget_nodes`` bounds a *fresh* compilation
+    (``CompilationBudgetExceeded`` propagates to the caller); circuits
+    already sitting in either cache tier are returned regardless of
+    their size — the exponential work is sunk, so answering exactly is
+    strictly better than estimating.  Budget failures are negatively
+    cached: once a formula has blown a budget, later calls at or below
+    that budget raise immediately instead of redoing the aborted
+    search (the disk store is still consulted first, in case another
+    process finished the compilation).
     """
     circuit = _CIRCUIT_CACHE.get(formula)
     if circuit is not None:
@@ -161,11 +207,35 @@ def compiled(formula: CNF) -> Circuit:
             _stats["store_hits"] += 1
             _remember(formula, circuit)
             return circuit
-    circuit = compile_cnf(formula)
+        _stats["store_misses"] += 1
+    if budget_nodes is not None:
+        known_insufficient = _BUDGET_FAILURES.get(formula)
+        if known_insufficient is not None and \
+                budget_nodes <= known_insufficient:
+            _stats["budget_aborts"] += 1
+            raise CompilationBudgetExceeded(budget_nodes)
+    try:
+        circuit = compile_cnf(formula, budget_nodes)
+    except CompilationBudgetExceeded:
+        _stats["budget_aborts"] += 1
+        _BUDGET_FAILURES[formula] = max(
+            _BUDGET_FAILURES.get(formula, 0), budget_nodes)
+        _BUDGET_FAILURES.move_to_end(formula)
+        while len(_BUDGET_FAILURES) > _BUDGET_FAILURE_LIMIT:
+            _BUDGET_FAILURES.popitem(last=False)
+        raise
+    _BUDGET_FAILURES.pop(formula, None)
     _stats["compiles"] += 1
     _remember(formula, circuit)
     if store is not None:
-        store.put(formula, circuit)
+        # Write-through is best-effort, mirroring the read side (which
+        # treats unreadable entries as misses): a read-only or full
+        # store directory must not fail a query whose compilation
+        # already succeeded.
+        try:
+            store.put(formula, circuit)
+        except OSError:
+            pass
     return circuit
 
 
@@ -173,14 +243,17 @@ def adopt(formula: CNF, circuit: Circuit) -> None:
     """Install a pre-built circuit (e.g. deserialized from a file) as
     ``formula``'s compilation, so subsequent ``compiled``/sweep calls
     skip the exponential search entirely."""
+    _BUDGET_FAILURES.pop(formula, None)
     _remember(formula, circuit)
 
 
 def clear_circuit_cache() -> None:
-    """Drop all tier-1 circuits and reset the counters (mainly for
-    tests and benchmarks; the disk store is untouched)."""
+    """Drop all tier-1 circuits, the budget-failure memo, and the
+    counters (mainly for tests and benchmarks; the disk store is
+    untouched)."""
     global _cache_nodes
     _CIRCUIT_CACHE.clear()
+    _BUDGET_FAILURES.clear()
     _cache_nodes = 0
     for key in _stats:
         _stats[key] = 0
@@ -205,6 +278,69 @@ def cnf_probability(formula: CNF, prob: Mapping | None = None,
     vector are linear in the circuit size.
     """
     return compiled(formula).probability(prob, default)
+
+
+# ----------------------------------------------------------------------
+# The budgeted "auto" policy: exact under budget, else estimate
+# ----------------------------------------------------------------------
+def cnf_probability_auto(formula: CNF, prob: Mapping | None = None,
+                         default: Fraction | None = None, *,
+                         budget_nodes: int | None = DEFAULT_BUDGET_NODES,
+                         epsilon=DEFAULT_EPSILON,
+                         delta=DEFAULT_DELTA,
+                         rng=None) -> AutoProbability:
+    """Pr(F) by the ``auto`` policy: exact compilation while it stays
+    under ``budget_nodes`` interned nodes, Monte-Carlo estimation with
+    a Hoeffding (epsilon, delta) guarantee once it blows past.
+
+    The returned ``AutoProbability`` records which engine answered
+    (``engine`` is ``"exact"`` or ``"estimate"``) and, on the estimate
+    path, the full ``ProbabilityEstimate`` with its interval.  A budget
+    of None never degrades (plain ``cnf_probability`` semantics).
+    """
+    try:
+        circuit = compiled(formula, budget_nodes)
+    except CompilationBudgetExceeded:
+        estimate = estimate_probability(
+            formula, prob, epsilon, delta, rng, default)
+        return AutoProbability(estimate.estimate, "estimate", estimate)
+    return AutoProbability(circuit.probability(prob, default), "exact")
+
+
+def probability_batch_auto(formula: CNF, weight_specs,
+                           default: Fraction | None = None, *,
+                           budget_nodes: int | None =
+                           DEFAULT_BUDGET_NODES,
+                           epsilon=DEFAULT_EPSILON,
+                           delta=DEFAULT_DELTA,
+                           rng=None,
+                           numeric: str = "exact") -> AutoSweep:
+    """Many-weight-vector ``auto``: one budgeted compilation backing a
+    batched circuit pass, or — past budget — one Hoeffding estimate per
+    weight vector (the estimator re-samples per vector; a single shared
+    ``rng`` keeps the whole sweep reproducible).
+
+    This is the primitive behind the ``auto`` mode of the reduction
+    sweeps (``block_matrix.z_matrix_direct``,
+    ``type2_spectral.link_matrix_sweep``,
+    ``TypeIIStructure.y_probability_sweep``) and of
+    ``repro.evaluation.probability_sweep``.  ``numeric="float"``
+    yields float values from either engine (the ``estimates`` list
+    keeps the exact rationals).
+    """
+    weight_specs = list(weight_specs)
+    try:
+        circuit = compiled(formula, budget_nodes)
+    except CompilationBudgetExceeded:
+        estimates = estimate_probability_batch(
+            formula, weight_specs, epsilon, delta, rng, default)
+        values = [e.estimate for e in estimates]
+        if numeric == "float":
+            values = [float(v) for v in values]
+        return AutoSweep(values, "estimate", estimates)
+    return AutoSweep(
+        circuit.probability_batch(weight_specs, default, numeric),
+        "exact")
 
 
 # ----------------------------------------------------------------------

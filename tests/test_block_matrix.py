@@ -5,7 +5,6 @@ from fractions import Fraction
 
 import pytest
 
-from repro.algebra.eigen2x2 import spectral_decomposition_2x2
 from repro.algebra.quadratic import QuadraticNumber
 from repro.core import catalog
 from repro.reduction.block_matrix import (

@@ -1,7 +1,6 @@
 """The query catalog reproduces the paper's running examples."""
 
 from repro.core import catalog
-from repro.core.clauses import Clause
 from repro.core.safety import is_unsafe, query_length, query_type
 
 

@@ -314,3 +314,24 @@ class TestTwoTierCache:
             wmc.set_cache_limits(max_nodes=0)
         with pytest.raises(ValueError):
             wmc.set_cache_limits(max_entries=-1)
+
+    def test_unwritable_store_does_not_fail_compilation(self, tmp_path):
+        """Write-through is best-effort like the read side: a store
+        that cannot be written must not crash a query whose
+        compilation already succeeded."""
+        import os
+        import stat
+
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        wmc.clear_circuit_cache()
+        wmc.set_circuit_store(str(store_dir))
+        os.chmod(store_dir, stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            circuit = wmc.compiled(CNF([["a", "b"], ["b", "c"]]))
+            assert circuit.size > 2
+            assert wmc.cache_info()["compiles"] == 1
+        finally:
+            os.chmod(store_dir, stat.S_IRWXU)
+            wmc.set_circuit_store(None)
+            wmc.clear_circuit_cache()

@@ -164,3 +164,60 @@ class TestCommands:
         finally:
             wmc.set_circuit_store(None)
             wmc.clear_circuit_cache()
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "(R|S1)(S1|T)", "--p", "2",
+                     "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:     estimate" in out
+        assert "interval:" in out
+        assert "inside the interval" in out
+
+    def test_estimate_deterministic_given_seed(self, capsys):
+        assert main(["estimate", "(R|S1)(S1|T)", "--p", "2",
+                     "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["estimate", "(R|S1)(S1|T)", "--p", "2",
+                     "--seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_compile_budget_degrades_to_estimate(self, capsys):
+        from repro.tid import wmc
+
+        wmc.clear_circuit_cache()
+        assert main(["compile", "(R|S1)(S1|T)", "--p", "2",
+                     "--budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exceeded 2 nodes" in out
+        assert "samples:" in out
+
+    def test_sweep_budget_degrades_to_estimate(self, capsys):
+        from repro.tid import wmc
+
+        wmc.clear_circuit_cache()
+        assert main(["sweep", "(R|S1)(S1|T)", "--p", "2",
+                     "--grid", "3", "--budget", "2",
+                     "--epsilon", "1/10"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:  estimate" in out
+        assert "budget aborts: 1" in out
+
+    def test_sweep_budget_exact_when_under(self, capsys):
+        assert main(["sweep", "(R|S1)(S1|T)", "--p", "2",
+                     "--grid", "3", "--budget", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:  exact" in out
+
+    def test_compile_budget_save_fails_loudly(self, capsys, tmp_path):
+        """--save with a blown budget must exit non-zero: the
+        requested artifact was never produced."""
+        from repro.tid import wmc
+
+        wmc.clear_circuit_cache()
+        path = str(tmp_path / "never.ddnnf")
+        assert main(["compile", "(R|S1)(S1|T)", "--p", "2",
+                     "--budget", "2", "--save", path]) == 1
+        err = capsys.readouterr().err
+        assert "--save" in err and "skipped" in err
+        import os
+        assert not os.path.exists(path)

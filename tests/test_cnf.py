@@ -1,6 +1,5 @@
 """Monotone CNF formulas — repro.booleans.cnf."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

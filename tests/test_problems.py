@@ -1,7 +1,7 @@
 """PQE / GFOMC / FOMC wrappers and the counting correspondence."""
 
 from fractions import Fraction
-from itertools import chain, combinations
+from itertools import combinations
 
 import pytest
 

@@ -1,7 +1,5 @@
 """Query construction, minimization and rewriting (Lemma 2.7)."""
 
-import pytest
-
 from repro.core.clauses import Clause
 from repro.core.queries import Query, query
 from repro.core.safety import is_unsafe, query_length, query_type

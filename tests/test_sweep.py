@@ -17,7 +17,7 @@ from repro.reduction.type2_spectral import (
     link_matrix_type2,
 )
 from repro.tid import wmc
-from repro.tid.database import r_tuple, s_tuple, t_tuple
+from repro.tid.database import r_tuple, s_tuple
 from repro.tid.lineage import lineage
 
 F = Fraction

@@ -3,8 +3,6 @@
 
 from fractions import Fraction
 
-import pytest
-
 from repro.counting.ccp import TOP_COLOR, coloring_counts
 from repro.counting.pp2cnf import PP2CNF
 from repro.reduction.type2 import (
