@@ -103,6 +103,21 @@ class ProbabilityEstimate:
     def __float__(self) -> float:
         return float(self.estimate)
 
+    def as_dict(self) -> dict:
+        """A JSON-safe rendering: exact rationals as ``"num/den"``
+        strings plus a float convenience field — the shape the service
+        protocol and any other machine consumer of an estimate use."""
+        return {
+            "estimate": str(self.estimate),
+            "float": float(self.estimate),
+            "epsilon": str(self.epsilon),
+            "delta": str(self.delta),
+            "low": str(self.low),
+            "high": str(self.high),
+            "samples": self.samples,
+            "successes": self.successes,
+        }
+
     def __str__(self) -> str:
         return (f"{self.estimate} in [{self.low}, {self.high}] "
                 f"({self.samples} samples, "

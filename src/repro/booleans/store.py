@@ -43,6 +43,34 @@ FINGERPRINT_VERSION = 1
 SUFFIX = ".ddnnf"
 
 
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers never observe a torn file.
+
+    The bytes land in a same-directory temp file (flushed and fsynced,
+    so a crash cannot rename a half-written blob into place) and are
+    published with ``os.replace``, which is atomic on POSIX and
+    Windows: a concurrent reader sees either the old content or the
+    complete new content, and concurrent writers of the same path race
+    benignly (last rename wins).  Shared by the circuit store and every
+    CLI/service code path that persists a circuit to a user-named file.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def cnf_fingerprint(formula: CNF) -> str:
     """A deterministic content address for a minimized monotone CNF.
 
@@ -113,17 +141,7 @@ class CircuitStore:
     def save(self, key: str, circuit: Circuit) -> Path:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(circuit.to_bytes())
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_bytes(path, circuit.to_bytes())
         return path
 
     # ------------------------------------------------------------------

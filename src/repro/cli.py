@@ -290,8 +290,8 @@ def cmd_compile(args) -> int:
     print(f"lineage model count:    "
           f"{circuit.model_count(formula.variables())}")
     if args.save:
-        with open(args.save, "wb") as handle:
-            handle.write(circuit.to_bytes())
+        from repro.booleans.store import atomic_write_bytes
+        atomic_write_bytes(args.save, circuit.to_bytes())
         print(f"saved:          {args.save}")
     return 0
 
@@ -364,6 +364,101 @@ def cmd_sweep(args) -> int:
           f"disk hits: {info['store_hits']}, "
           f"disk misses: {info['store_misses']}, "
           f"budget aborts: {info['budget_aborts']})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import ReproServer
+    from repro.tid.wmc import DEFAULT_BUDGET_NODES
+
+    if args.workers < 1:
+        raise SystemExit("repro: --workers must be at least 1")
+    if args.window < 0:
+        raise SystemExit("repro: --window must be non-negative")
+    budget = args.budget if args.budget is not None \
+        else DEFAULT_BUDGET_NODES
+    server = ReproServer(
+        args.host, args.port, store=args.store, workers=args.workers,
+        window=args.window, budget_nodes=budget)
+    host, port = server.address
+    # Scripts (CI smoke, benchmarks) parse this line to find an
+    # ephemeral --port 0 binding; keep its shape stable.
+    print(f"repro service listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.protocol import OPS
+
+    needs_query = args.op not in ("stats", "ping", "shutdown")
+    if needs_query and not args.query:
+        raise SystemExit(
+            f"repro: op {args.op!r} needs a query argument, e.g. "
+            f"repro query {args.op} \"(R|S1)(S1|T)\"")
+    params: dict = {}
+    if needs_query:
+        params["query"] = args.query
+    if args.op == "evaluate_batch":
+        if not args.ps:
+            raise SystemExit(
+                "repro: evaluate_batch needs --ps, e.g. --ps 2,3,4")
+        try:
+            ps = [int(piece) for piece in args.ps.split(",")
+                  if piece.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"repro: bad --ps {args.ps!r} — comma-separated "
+                f"integers, e.g. --ps 2,3,4") from None
+        if not ps:
+            raise SystemExit(
+                f"repro: bad --ps {args.ps!r} — no block lengths")
+        params["ps"] = ps
+    elif needs_query:
+        params["p"] = args.p
+    if args.op == "sweep":
+        params["grid"] = args.grid
+        if args.float:
+            params["numeric"] = "float"
+    if args.op in ("sample", "top_k"):
+        params["k"] = args.k
+    if args.op in ("evaluate", "evaluate_batch") and args.method:
+        params["method"] = args.method
+    if args.op in ("compile", "evaluate", "evaluate_batch", "sweep",
+                   "sample", "top_k") and args.budget is not None:
+        params["budget_nodes"] = args.budget
+    if args.op in ("evaluate", "evaluate_batch", "sweep", "estimate"):
+        params["epsilon"] = str(args.epsilon)
+        params["delta"] = str(args.delta)
+    if args.op in ("evaluate", "evaluate_batch", "sweep", "estimate",
+                   "sample"):
+        params["seed"] = args.seed
+    assert args.op in OPS
+    try:
+        client = ServiceClient(args.host, args.port,
+                               timeout=args.timeout)
+    except OSError as error:
+        raise SystemExit(
+            f"repro: cannot connect to {args.host}:{args.port}: "
+            f"{error} (is `repro serve` running?)") from None
+    with client:
+        try:
+            result = client.call(args.op, **params)
+        except ServiceError as error:
+            if args.op == "shutdown":
+                result = {"stopping": True}
+            else:
+                raise SystemExit(f"repro: service error: {error}") \
+                    from None
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -481,6 +576,68 @@ def build_parser() -> argparse.ArgumentParser:
                                  "directory (used by --check)")
     estimator_flags(p_estimate, with_budget=False)
     p_estimate.set_defaults(fn=cmd_estimate)
+
+    from repro.service.client import DEFAULT_PORT
+    from repro.service.protocol import OPS
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived query service (line-delimited JSON "
+             "over TCP; warm two-tier circuit cache shared by all "
+             "clients)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"TCP port (default {DEFAULT_PORT}; "
+                              f"0 picks an ephemeral port, announced "
+                              f"on stdout)")
+    p_serve.add_argument("--store", metavar="DIR",
+                         help="content-addressed circuit store "
+                              "directory (tier-2 cache; also honours "
+                              "$REPRO_CIRCUIT_STORE)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="max concurrent compilations "
+                              "(default 4)")
+    p_serve.add_argument("--window", type=float, default=0.01,
+                         help="sweep-coalescing window in seconds "
+                              "(default 0.01)")
+    p_serve.add_argument("--budget", type=int, metavar="NODES",
+                         default=None,
+                         help="default auto-policy compilation budget "
+                              "for requests that do not override it "
+                              "(default: the library default)")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_query = sub.add_parser(
+        "query",
+        help="send one request to a running repro service and print "
+             "the JSON result")
+    p_query.add_argument("op", choices=list(OPS),
+                         help="operation to invoke")
+    p_query.add_argument("query", nargs="?",
+                         help="query text (omit for stats/ping/"
+                              "shutdown)")
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_query.add_argument("--timeout", type=float, default=60.0,
+                         help="socket timeout in seconds (default 60)")
+    p_query.add_argument("--p", type=int, default=4,
+                         help="path-block length (default 4)")
+    p_query.add_argument("--ps", metavar="P1,P2,...",
+                         help="comma-separated block lengths "
+                              "(evaluate_batch)")
+    p_query.add_argument("--grid", type=int, default=8,
+                         help="sweep grid size (default 8)")
+    p_query.add_argument("--float", action="store_true",
+                         help="float fast path for sweep")
+    p_query.add_argument("--k", type=int, default=1,
+                         help="world count for sample/top_k "
+                              "(default 1)")
+    p_query.add_argument("--method", default=None,
+                         help="force an evaluation method "
+                              "(default: auto)")
+    estimator_flags(p_query)
+    p_query.set_defaults(fn=cmd_query)
     return parser
 
 

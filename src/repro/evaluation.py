@@ -93,6 +93,29 @@ class EvaluationResult:
         # then always hash alike, keeping dict/set semantics consistent.
         return hash(self.value)
 
+    @property
+    def engine(self) -> str:
+        """Which engine class answered, mirroring ``AutoProbability``:
+        ``"estimate"`` for the Monte-Carlo path, ``"exact"`` for every
+        other method (they all compute the true rational)."""
+        return "estimate" if self.method == "estimate" else "exact"
+
+    def as_dict(self) -> dict:
+        """A JSON-safe rendering (exact value as a ``"num/den"``
+        string, float convenience field, engine/method provenance, and
+        the Hoeffding interval when the estimator answered) — what the
+        service protocol puts on the wire."""
+        payload = {
+            "value": str(self.value),
+            "float": float(self.value),
+            "method": self.method,
+            "engine": self.engine,
+            "safe": self.safe,
+        }
+        if self.estimate is not None:
+            payload["estimate"] = self.estimate.as_dict()
+        return payload
+
 
 def _shannon_query_probability(query: Query, tid: TID) -> Fraction:
     """Pr(Q) via the legacy recursive engine (recomputes every call)."""

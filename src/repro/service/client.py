@@ -1,0 +1,184 @@
+"""Client library for the repro query service.
+
+``ServiceClient`` owns one TCP connection and speaks the versioned
+line protocol; each ``call`` writes one request line and blocks for
+its response line, raising ``ServiceError`` (carrying the structured
+``code``) when the server answers with an error.  The convenience
+methods mirror the server's operations one-to-one, so the whole
+surface reads like the in-process API:
+
+    with ServiceClient(port=7411) as client:
+        client.compile("(R|S1)(S1|T)", p=6)
+        result = client.sweep("(R|S1)(S1|T)", p=6, grid=32)
+        print(result["engine"], client.stats()["cache"]["compiles"])
+
+The client is thread-safe (an internal lock serializes request/response
+pairs on the single connection); for genuinely concurrent traffic open
+one client per thread — the server coalesces same-fingerprint sweeps
+across connections either way.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from fractions import Fraction
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    dump_line,
+    encode_request,
+)
+
+DEFAULT_PORT = 7411
+
+
+class ServiceError(Exception):
+    """An error response (or transport failure), with its code."""
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        self.message = message
+        super().__init__(f"{code}: {message}")
+
+
+def _wire_value(value):
+    """JSON-encodable rendering of one parameter value (exact
+    ``Fraction``s travel as their ``"num/den"`` string)."""
+    if isinstance(value, Fraction):
+        return str(value)
+    return value
+
+
+class ServiceClient:
+    """One connection to a running ``ReproServer``."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, timeout: float = 60.0):
+        self.host, self.port = host, port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def call(self, op: str, **params) -> dict:
+        """Send one request; return its ``result`` or raise
+        ``ServiceError``.  ``None``-valued params are omitted (the
+        server applies its defaults)."""
+        payload = {key: _wire_value(value)
+                   for key, value in params.items() if value is not None}
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self._file.write(dump_line(
+                encode_request(op, payload, request_id)))
+            self._file.flush()
+            raw = self._file.readline()
+        if not raw:
+            raise ServiceError("connection-closed",
+                               "server closed the connection")
+        try:
+            response = json.loads(raw)
+        except ValueError as error:
+            raise ServiceError(
+                "parse-error",
+                f"unreadable response: {error}") from None
+        if response.get("v") != PROTOCOL_VERSION:
+            raise ServiceError(
+                "unsupported-version",
+                f"server speaks protocol {response.get('v')!r}, "
+                f"client speaks {PROTOCOL_VERSION}")
+        if not response.get("ok"):
+            # Surface the server's structured error before id
+            # bookkeeping — an unparseable request cannot echo an id.
+            error = response.get("error") or {}
+            raise ServiceError(error.get("code", "internal"),
+                               error.get("message", "unknown error"))
+        if response.get("id") != request_id:
+            raise ServiceError(
+                "bad-response",
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}")
+        result = response.get("result")
+        if not isinstance(result, dict):
+            raise ServiceError("bad-response",
+                               "response carries no result object")
+        return result
+
+    # ------------------------------------------------------------------
+    # One convenience method per operation
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def compile(self, query: str, p: int = 4,
+                budget_nodes: int | None = None) -> dict:
+        return self.call("compile", query=query, p=p,
+                         budget_nodes=budget_nodes)
+
+    def evaluate(self, query: str, p: int = 4, method: str | None = None,
+                 budget_nodes: int | None = None, epsilon=None,
+                 delta=None, seed: int | None = None) -> dict:
+        return self.call("evaluate", query=query, p=p, method=method,
+                         budget_nodes=budget_nodes, epsilon=epsilon,
+                         delta=delta, seed=seed)
+
+    def evaluate_batch(self, query: str, ps, method: str | None = None,
+                       budget_nodes: int | None = None, epsilon=None,
+                       delta=None, seed: int | None = None) -> dict:
+        return self.call("evaluate_batch", query=query, ps=list(ps),
+                         method=method, budget_nodes=budget_nodes,
+                         epsilon=epsilon, delta=delta, seed=seed)
+
+    def sweep(self, query: str, p: int = 4, grid: int = 8,
+              numeric: str | None = None,
+              budget_nodes: int | None = None, epsilon=None,
+              delta=None, seed: int | None = None) -> dict:
+        return self.call("sweep", query=query, p=p, grid=grid,
+                         numeric=numeric, budget_nodes=budget_nodes,
+                         epsilon=epsilon, delta=delta, seed=seed)
+
+    def estimate(self, query: str, p: int = 4, epsilon=None,
+                 delta=None, seed: int | None = None) -> dict:
+        return self.call("estimate", query=query, p=p, epsilon=epsilon,
+                         delta=delta, seed=seed)
+
+    def sample(self, query: str, p: int = 4, k: int = 1,
+               seed: int | None = None,
+               budget_nodes: int | None = None) -> dict:
+        return self.call("sample", query=query, p=p, k=k, seed=seed,
+                         budget_nodes=budget_nodes)
+
+    def top_k(self, query: str, p: int = 4, k: int = 1,
+              budget_nodes: int | None = None) -> dict:
+        return self.call("top_k", query=query, p=p, k=k,
+                         budget_nodes=budget_nodes)
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop.  Tolerates the connection closing
+        before (or instead of) the acknowledgement — by then the
+        shutdown has clearly been taken."""
+        try:
+            return self.call("shutdown")
+        except (ServiceError, OSError):
+            return {"stopping": True}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

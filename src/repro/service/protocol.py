@@ -1,0 +1,299 @@
+"""The service wire protocol: versioned, line-delimited JSON.
+
+A connection carries a sequence of requests, one JSON object per
+``\\n``-terminated line, each answered in order by one JSON response
+line (so a client may pipeline).  Every request names the protocol
+version explicitly — a server never guesses what an unknown client
+meant:
+
+    {"v": 1, "id": 7, "op": "sweep",
+     "params": {"query": "(R|S1)(S1|T)", "p": 4, "grid": 8}}
+
+Responses echo the id and either carry a result or a *structured*
+error (machine-readable ``code`` + human-readable ``message``):
+
+    {"v": 1, "id": 7, "ok": true, "op": "sweep", "result": {...}}
+    {"v": 1, "id": 7, "ok": false,
+     "error": {"code": "bad-query", "message": "..."}}
+
+Exact rationals travel as ``"num/den"`` strings (JSON numbers cannot
+represent them); variable tokens and worlds reuse the type-tagged
+circuit codec (``repro.booleans.circuit.encode_token``), so a sampled
+world round-trips to *equal* tuple tokens, never list lookalikes.
+
+This module is deliberately transport-free: it validates and
+(de)serializes, the server and client own their sockets.  Malformed
+input of any shape maps to a ``ProtocolError`` whose ``code`` is one
+of ``ERROR_CODES`` — the server turns that into an error response
+instead of dropping the connection, so one bad request never kills a
+pipelined session.
+"""
+
+from __future__ import annotations
+
+import json
+
+from fractions import Fraction
+
+from repro.booleans.circuit import decode_token, encode_token
+
+#: Bump on any incompatible change to the request/response shapes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request line; a line longer than this is
+#: rejected (and the connection dropped — its framing is unrecoverable
+#: once a line has been truncated).
+MAX_REQUEST_BYTES = 1_048_576
+
+#: Every operation the server understands.
+OPS = ("compile", "evaluate", "evaluate_batch", "sweep", "estimate",
+       "sample", "top_k", "stats", "ping", "shutdown")
+
+#: Machine-readable error codes a response may carry.
+ERROR_CODES = ("parse-error", "unsupported-version", "unknown-op",
+               "bad-request", "bad-query", "budget-exceeded",
+               "internal")
+
+
+class ProtocolError(Exception):
+    """A request the server refuses, with a structured error code.
+
+    ``request_id`` is filled in by ``parse_request`` when the failing
+    request carried a readable id, so the error response can still be
+    correlated by a pipelining client.
+    """
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        self.code = code
+        self.message = message
+        self.request_id = None
+        super().__init__(f"{code}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def dump_line(obj: dict) -> bytes:
+    """One wire line: compact JSON + newline, UTF-8."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def parse_request(line: bytes | str):
+    """Validate one request line into ``(request_id, op, params)``.
+
+    Anything short of a well-formed, version-matched request raises
+    ``ProtocolError`` with the most specific code available.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError("parse-error",
+                                f"request is not UTF-8: {error}") from None
+    try:
+        obj = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError("parse-error",
+                            f"request is not JSON: {error}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"request must be a JSON object, got {type(obj).__name__}")
+    request_id = obj.get("id")
+    if request_id is not None and (
+            isinstance(request_id, bool)
+            or not isinstance(request_id, (str, int))):
+        raise ProtocolError("bad-request",
+                            "request id must be a string or integer")
+
+    def refuse(code: str, message: str):
+        # The id was readable, so later failures can still echo it.
+        error = ProtocolError(code, message)
+        error.request_id = request_id
+        raise error
+
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        refuse("unsupported-version",
+               f"protocol version {version!r} not supported "
+               f"(this server speaks v{PROTOCOL_VERSION})")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        refuse("bad-request", "request needs an 'op' string")
+    if op not in OPS:
+        refuse("unknown-op",
+               f"unknown op {op!r}; supported: {', '.join(OPS)}")
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        refuse("bad-request", "'params' must be an object")
+    stray = set(obj) - {"v", "id", "op", "params"}
+    if stray:
+        refuse("bad-request",
+               f"unexpected request fields: {', '.join(sorted(stray))}")
+    return request_id, op, params
+
+
+def encode_request(op: str, params: dict | None = None,
+                   request_id=None) -> dict:
+    """The client-side request object (call ``dump_line`` to frame)."""
+    obj = {"v": PROTOCOL_VERSION, "op": op, "params": params or {}}
+    if request_id is not None:
+        obj["id"] = request_id
+    return obj
+
+
+def ok_response(request_id, op: str, result: dict) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+            "op": op, "result": result}
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+# ----------------------------------------------------------------------
+# Value codecs
+# ----------------------------------------------------------------------
+def encode_fraction(value) -> str:
+    """Exact rationals as ``"num/den"`` strings (``"1/3"``, ``"0"``)."""
+    return str(Fraction(value))
+
+
+def decode_fraction(obj, field: str = "value") -> Fraction:
+    """Accept ``"num/den"``/decimal strings, ints, and floats.
+
+    Floats go through their shortest-repr string, so a client sending
+    the JSON number ``0.05`` means exactly ``1/20`` — not the nearest
+    binary double — matching what a human typed.
+    """
+    if isinstance(obj, bool):
+        raise ProtocolError("bad-request",
+                            f"field {field!r} must be a number or "
+                            f"rational string, not a boolean")
+    if isinstance(obj, float):
+        obj = repr(obj)
+    if isinstance(obj, (int, str)):
+        try:
+            return Fraction(obj)
+        except (ValueError, ZeroDivisionError) as error:
+            raise ProtocolError(
+                "bad-request",
+                f"field {field!r}: not a rational: {error}") from None
+    raise ProtocolError(
+        "bad-request",
+        f"field {field!r} must be a number or rational string, "
+        f"got {type(obj).__name__}")
+
+
+def encode_world(world: dict) -> list:
+    """A ``{var: bool}`` world as ``[[token, bool], ...]``, sorted by
+    token repr so the wire form is deterministic across hash seeds."""
+    return [[encode_token(var), bool(world[var])]
+            for var in sorted(world, key=repr)]
+
+
+def decode_world(obj) -> dict:
+    if not isinstance(obj, list):
+        raise ProtocolError("bad-request", "world must be a list")
+    return {decode_token(token): bool(value) for token, value in obj}
+
+
+# ----------------------------------------------------------------------
+# Typed parameter extraction (the per-op validation vocabulary)
+# ----------------------------------------------------------------------
+_MISSING = object()
+
+
+def check_fields(params: dict, allowed) -> None:
+    """Reject stray parameters by name — typos fail loudly instead of
+    silently running with defaults."""
+    stray = set(params) - set(allowed)
+    if stray:
+        raise ProtocolError(
+            "bad-request",
+            f"unexpected params: {', '.join(sorted(stray))} "
+            f"(allowed: {', '.join(sorted(allowed))})")
+
+
+def take_str(params: dict, field: str, default=_MISSING,
+             choices=None) -> str:
+    value = params.get(field, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ProtocolError("bad-request",
+                                f"missing required param {field!r}")
+        return default
+    if not isinstance(value, str):
+        raise ProtocolError(
+            "bad-request",
+            f"param {field!r} must be a string, "
+            f"got {type(value).__name__}")
+    if choices is not None and value not in choices:
+        raise ProtocolError(
+            "bad-request",
+            f"param {field!r} must be one of {', '.join(choices)}; "
+            f"got {value!r}")
+    return value
+
+
+def take_int(params: dict, field: str, default=_MISSING,
+             minimum: int | None = None,
+             maximum: int | None = None):
+    value = params.get(field, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ProtocolError("bad-request",
+                                f"missing required param {field!r}")
+        return default
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(
+            "bad-request",
+            f"param {field!r} must be an integer, "
+            f"got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ProtocolError("bad-request",
+                            f"param {field!r} must be >= {minimum}")
+    if maximum is not None and value > maximum:
+        raise ProtocolError("bad-request",
+                            f"param {field!r} must be <= {maximum}")
+    return value
+
+
+def take_fraction(params: dict, field: str, default=_MISSING):
+    value = params.get(field, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ProtocolError("bad-request",
+                                f"missing required param {field!r}")
+        return default
+    return decode_fraction(value, field)
+
+
+def take_int_list(params: dict, field: str, minimum: int | None = None,
+                  max_items: int = 1024) -> list[int]:
+    value = params.get(field)
+    if not isinstance(value, list) or not value:
+        raise ProtocolError(
+            "bad-request",
+            f"param {field!r} must be a non-empty list of integers")
+    if len(value) > max_items:
+        raise ProtocolError("bad-request",
+                            f"param {field!r} has {len(value)} items; "
+                            f"the limit is {max_items}")
+    out = []
+    for i, item in enumerate(value):
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise ProtocolError(
+                "bad-request",
+                f"param {field!r}[{i}] must be an integer, "
+                f"got {type(item).__name__}")
+        if minimum is not None and item < minimum:
+            raise ProtocolError("bad-request",
+                                f"param {field!r}[{i}] must be "
+                                f">= {minimum}")
+        out.append(item)
+    return out

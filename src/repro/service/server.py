@@ -1,0 +1,542 @@
+"""The long-lived query service: a TCP server over the warm caches.
+
+Every ``repro`` CLI invocation pays interpreter start-up plus a cold
+compilation cache; the economics of the circuit IR — compile once,
+evaluate many — want the opposite: one resident process whose tier-1
+LRU and tier-2 ``CircuitStore`` stay warm across requests and clients.
+``ReproServer`` is that process:
+
+* stdlib-only transport: a ``socketserver.ThreadingTCPServer`` (one
+  thread per connection) speaking the line-delimited JSON protocol of
+  ``repro.service.protocol``;
+* all probability work routed through the ``auto`` policy
+  (``cnf_probability_auto`` / ``probability_batch_auto``) with
+  per-request ``budget_nodes``/``epsilon``/``delta``/``seed``
+  overrides, so a blown compilation budget degrades a single request
+  to the Monte-Carlo estimator — and every response records which
+  engine answered, mirroring ``AutoProbability``;
+* compilations run on a bounded ``CompilePool`` with in-flight dedupe,
+  and concurrent sweep requests against the same ``cnf_fingerprint``
+  coalesce into one ``Circuit.probability_batch`` pass
+  (``SweepCoalescer``);
+* the ``stats`` endpoint exposes ``wmc.cache_info()`` (hits, compiles,
+  store hits/misses, budget aborts) plus the scheduler counters
+  (coalesced batches, compile joins) and per-op request counts, so
+  warm-cache behaviour is observable from any client.
+
+Workloads are the same shape the CLI serves: a query in the miniature
+clause syntax grounded over the ``B_p(u, v)`` path block.  The
+server process is the unit of cache sharing — clients are free to
+connect, query, and disconnect per request and still reuse every
+compilation any other client paid for.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.booleans.approximate import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    estimate_probability,
+)
+from repro.booleans.circuit import CompilationBudgetExceeded
+from repro.booleans.cnf import CNF
+from repro.booleans.store import cnf_fingerprint
+from repro.core.queries import Query
+from repro.core.safety import is_safe
+from repro.evaluation import METHODS, endpoint_weight_grid, evaluate
+from repro.reduction.blocks import path_block
+from repro.service.protocol import (
+    MAX_REQUEST_BYTES,
+    ProtocolError,
+    check_fields,
+    dump_line,
+    encode_world,
+    error_response,
+    ok_response,
+    parse_request,
+    take_fraction,
+    take_int,
+    take_int_list,
+    take_str,
+)
+from repro.service.scheduler import CompilePool, SweepCoalescer
+from repro.tid import wmc
+from repro.tid.database import TID, r_tuple, t_tuple
+from repro.tid.lineage import lineage
+
+#: Evaluation methods a client may force: exactly the library's —
+#: "brute"/"cross-check" are expensive but legitimate validation
+#: requests, and a method added to the evaluator is automatically
+#: servable.
+EVAL_METHODS = METHODS
+
+_ESTIMATOR_FIELDS = ("budget_nodes", "epsilon", "delta", "seed")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A resolved request target: query grounded over its path block."""
+
+    text: str
+    p: int
+    query: Query = field(compare=False)
+    tid: TID = field(compare=False)
+    formula: CNF = field(compare=False)
+    fingerprint: str = field(compare=False)
+    safe: bool = field(compare=False)
+
+
+class _ServiceTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service = None  # installed by ReproServer
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        service = self.server.service
+        while True:
+            line = self.rfile.readline(MAX_REQUEST_BYTES + 1)
+            if not line:
+                return
+            if len(line) > MAX_REQUEST_BYTES:
+                response = error_response(
+                    None, "bad-request",
+                    f"request line exceeds {MAX_REQUEST_BYTES} bytes")
+                # The connection's framing is now unrecoverable (the
+                # oversized line was truncated mid-stream): answer and
+                # hang up.
+                self._reply(response)
+                return
+            if not line.strip():
+                continue
+            if not self._reply(service.handle_line(line)):
+                return
+
+    def _reply(self, response: dict) -> bool:
+        try:
+            self.wfile.write(dump_line(response))
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+
+
+class ReproServer:
+    """The resident query service (see the module docstring).
+
+    ``port=0`` binds an ephemeral port — read the chosen one back from
+    ``address``.  ``store`` installs a tier-2 ``CircuitStore`` (path or
+    instance) before serving; ``workers`` bounds concurrent
+    compilations; ``window`` is the sweep-coalescing window in seconds;
+    ``budget_nodes`` is the default ``auto``-policy budget for requests
+    that do not override it.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 store=None, workers: int = 4, window: float = 0.01,
+                 budget_nodes: int | None = wmc.DEFAULT_BUDGET_NODES,
+                 workload_cache_size: int = 128):
+        if store is not None:
+            wmc.set_circuit_store(store)
+        self.default_budget = budget_nodes
+        self.pool = CompilePool(workers)
+        self.coalescer = SweepCoalescer(window)
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._op_counts: dict[str, int] = {}
+        self._workload_lock = threading.Lock()
+        self._workloads: OrderedDict = OrderedDict()
+        self._workload_cache_size = workload_cache_size
+        self._started = time.monotonic()
+        self._serve_thread = None
+        self._dispatch = {
+            "compile": self._op_compile,
+            "evaluate": self._op_evaluate,
+            "evaluate_batch": self._op_evaluate_batch,
+            "sweep": self._op_sweep,
+            "estimate": self._op_estimate,
+            "sample": self._op_sample,
+            "top_k": self._op_top_k,
+            "stats": self._op_stats,
+            "ping": self._op_ping,
+            "shutdown": self._op_shutdown,
+        }
+        self._tcp = _ServiceTCPServer((host, port), _Handler)
+        self._tcp.service = self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` requests."""
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until ``shutdown`` (the op or
+        the method) or KeyboardInterrupt."""
+        self._tcp.serve_forever()
+
+    def start(self) -> tuple[str, int]:
+        """Serve on a background daemon thread; returns the address
+        (tests and benchmarks embed the server this way)."""
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever, daemon=True,
+            name="repro-service")
+        self._serve_thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop accepting, close the listener, release the pool."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self.pool.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5)
+            self._serve_thread = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle_line(self, line: bytes | str) -> dict:
+        """One request line to one response object (never raises)."""
+        request_id = None
+        try:
+            request_id, op, params = parse_request(line)
+        except ProtocolError as error:
+            self._count(None, error=True)
+            return error_response(error.request_id, error.code,
+                                  error.message)
+        try:
+            self._count(op)
+            return ok_response(request_id, op, self._dispatch[op](params))
+        except ProtocolError as error:
+            self._count(None, error=True)
+            return error_response(request_id, error.code, error.message)
+        except Exception as error:  # never kill the connection loop
+            self._count(None, error=True)
+            return error_response(
+                request_id, "internal",
+                f"{type(error).__name__}: {error}")
+
+    def _count(self, op: str | None, error: bool = False) -> None:
+        with self._counter_lock:
+            if op is not None:
+                self._requests += 1
+                self._op_counts[op] = self._op_counts.get(op, 0) + 1
+            if error:
+                self._errors += 1
+
+    # ------------------------------------------------------------------
+    # Workload resolution (query text + block length -> lineage)
+    # ------------------------------------------------------------------
+    def _workload(self, params: dict) -> Workload:
+        text = take_str(params, "query")
+        p = take_int(params, "p", default=4, minimum=1, maximum=64)
+        key = (text, p)
+        with self._workload_lock:
+            hit = self._workloads.get(key)
+            if hit is not None:
+                self._workloads.move_to_end(key)
+                return hit
+        from repro.cli import parse_query
+        try:
+            query = parse_query(text)
+            tid = path_block(query, p)
+            formula = lineage(query, tid)
+        except SystemExit as error:
+            raise ProtocolError("bad-query", str(error)) from None
+        except (ValueError, KeyError, TypeError) as error:
+            raise ProtocolError(
+                "bad-query",
+                f"cannot ground {text!r} over B_{p}(u, v): "
+                f"{error}") from None
+        workload = Workload(text, p, query, tid, formula,
+                            cnf_fingerprint(formula), is_safe(query))
+        with self._workload_lock:
+            self._workloads[key] = workload
+            while len(self._workloads) > self._workload_cache_size:
+                self._workloads.popitem(last=False)
+        return workload
+
+    def _compiled(self, workload: Workload,
+                  budget_nodes: int | None):
+        """The workload's circuit via the deduping compile pool."""
+        return self.pool.run(
+            (workload.fingerprint, budget_nodes),
+            lambda: wmc.compiled(workload.formula, budget_nodes))
+
+    def _prewarm(self, workload: Workload,
+                 budget_nodes: int | None) -> None:
+        """Route the compilation a downstream exact/auto evaluation
+        will need through the deduping pool; a blown budget is left
+        for the auto policy to degrade gracefully."""
+        try:
+            self._compiled(workload, budget_nodes)
+        except CompilationBudgetExceeded:
+            pass
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _op_ping(self, params: dict) -> dict:
+        check_fields(params, ())
+        return {"pong": True}
+
+    def _op_shutdown(self, params: dict) -> dict:
+        check_fields(params, ())
+        # shutdown() blocks until serve_forever returns, so it must run
+        # off-thread; the response is written before the accept loop
+        # notices anything.
+        threading.Thread(target=self._tcp.shutdown, daemon=True).start()
+        return {"stopping": True}
+
+    def _op_stats(self, params: dict) -> dict:
+        check_fields(params, ())
+        with self._counter_lock:
+            service = {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests": self._requests,
+                "errors": self._errors,
+                "ops": dict(sorted(self._op_counts.items())),
+                "default_budget_nodes": self.default_budget,
+                "workloads_cached": len(self._workloads),
+            }
+        service.update(self.pool.stats())
+        service.update(self.coalescer.stats())
+        return {"cache": wmc.cache_info(), "service": service}
+
+    def _op_compile(self, params: dict) -> dict:
+        check_fields(params, ("query", "p", "budget_nodes"))
+        budget = take_int(params, "budget_nodes", default=None, minimum=2)
+        workload = self._workload(params)
+        # The job itself records where its circuit came from (only the
+        # leader of a deduped compile executes `build`, so the probe
+        # is per-formula, never contaminated by concurrent requests on
+        # other formulas); a request that piggybacked on someone
+        # else's in-flight compile did no new work and says so.
+        job_source: dict = {}
+
+        def build():
+            if wmc.is_cached(workload.formula):
+                job_source["source"] = "memory cache"
+            else:
+                store = wmc.get_circuit_store()
+                on_disk = (store is not None
+                           and hasattr(store, "__contains__")
+                           and workload.formula in store)
+                job_source["source"] = ("disk store" if on_disk
+                                        else "compiled")
+            return wmc.compiled(workload.formula, budget)
+
+        try:
+            circuit = self.pool.run((workload.fingerprint, budget),
+                                    build)
+        except CompilationBudgetExceeded:
+            raise ProtocolError(
+                "budget-exceeded",
+                f"compilation of {workload.fingerprint[:12]} exceeded "
+                f"{budget} nodes; raise budget_nodes or use "
+                f"evaluate/sweep, which degrade to the estimator"
+            ) from None
+        source = job_source.get("source", "in-flight join")
+        return {
+            "fingerprint": workload.fingerprint,
+            "engine": "exact",
+            "source": source,
+            "clauses": len(workload.formula),
+            "variables": len(workload.formula.variables()),
+            "circuit": circuit.stats(),
+        }
+
+    def _estimator_knobs(self, params: dict):
+        budget = take_int(params, "budget_nodes",
+                          default=self.default_budget, minimum=2)
+        epsilon = take_fraction(params, "epsilon",
+                                default=DEFAULT_EPSILON)
+        delta = take_fraction(params, "delta", default=DEFAULT_DELTA)
+        seed = take_int(params, "seed", default=0)
+        return budget, epsilon, delta, seed
+
+    def _evaluate_one(self, workload: Workload, method: str,
+                      budget, epsilon, delta, seed) -> dict:
+        if method in ("auto", "wmc", "compiled", "cross-check") \
+                and not workload.safe and not workload.query.is_false():
+            self._prewarm(workload,
+                          budget if method == "auto" else None)
+        result = evaluate(workload.query, workload.tid, method,
+                          budget_nodes=budget, epsilon=epsilon,
+                          delta=delta, rng=seed)
+        payload = result.as_dict()
+        payload["p"] = workload.p
+        payload["fingerprint"] = workload.fingerprint
+        return payload
+
+    def _op_evaluate(self, params: dict) -> dict:
+        check_fields(params, ("query", "p", "method")
+                     + _ESTIMATOR_FIELDS)
+        method = take_str(params, "method", default="auto",
+                          choices=EVAL_METHODS)
+        budget, epsilon, delta, seed = self._estimator_knobs(params)
+        return self._evaluate_one(self._workload(params), method,
+                                  budget, epsilon, delta, seed)
+
+    def _op_evaluate_batch(self, params: dict) -> dict:
+        check_fields(params, ("query", "ps", "method")
+                     + _ESTIMATOR_FIELDS)
+        ps = take_int_list(params, "ps", minimum=1, max_items=256)
+        method = take_str(params, "method", default="auto",
+                          choices=EVAL_METHODS)
+        budget, epsilon, delta, seed = self._estimator_knobs(params)
+        text = take_str(params, "query")
+        results = [
+            self._evaluate_one(
+                self._workload({"query": text, "p": p}),
+                method, budget, epsilon, delta, seed)
+            for p in ps]
+        return {"results": results, "count": len(results)}
+
+    def _op_sweep(self, params: dict) -> dict:
+        check_fields(params, ("query", "p", "grid", "numeric")
+                     + _ESTIMATOR_FIELDS)
+        k = take_int(params, "grid", default=8, minimum=1,
+                     maximum=100_000)
+        numeric = take_str(params, "numeric", default="exact",
+                           choices=("exact", "float"))
+        budget, epsilon, delta, seed = self._estimator_knobs(params)
+        workload = self._workload(params)
+        r_u, t_v = r_tuple("u"), t_tuple("v")
+        if not {r_u, t_v} & workload.formula.variables():
+            raise ProtocolError(
+                "bad-query",
+                f"the lineage of {workload.text!r} contains neither "
+                f"endpoint tuple R(u) nor T(v); an endpoint sweep "
+                f"would evaluate the same weights at every grid point")
+        weight_maps = endpoint_weight_grid(workload.formula,
+                                           workload.tid, k)
+        # Only *exact* work coalesces: the shared gains (one compile,
+        # one batched pass) exist only there, and exact values are
+        # seed-independent so merged requests cannot observe each
+        # other.  The estimator path runs per request below — a
+        # request's seeded estimates must not depend on which
+        # concurrent requests it happened to be batched with.
+        coalesce_key = (workload.fingerprint, budget, numeric)
+
+        def runner(vectors):
+            # A blown budget propagates to every coalesced waiter,
+            # each of which then runs its own seeded estimate.
+            self._compiled(workload, budget)
+            return wmc.probability_batch_auto(
+                workload.formula, vectors, budget_nodes=budget,
+                numeric=numeric)
+
+        try:
+            # Pay the coalescing window only ahead of a cold
+            # compilation — that is when concurrent requests pile up
+            # and one batched pass saves real work; against a hot
+            # circuit the pass is linear and waiting would only add
+            # latency.
+            values, engine, estimates = self.coalescer.submit(
+                coalesce_key, weight_maps, runner,
+                wait=not wmc.is_cached(workload.formula))
+        except CompilationBudgetExceeded:
+            # Per-request estimator fallback: the negative budget
+            # cache makes the retried compile abort instantly, and the
+            # request's own rng makes an explicit seed reproduce the
+            # same estimates whether or not the request was coalesced.
+            sweep = wmc.probability_batch_auto(
+                workload.formula, weight_maps, budget_nodes=budget,
+                epsilon=epsilon, delta=delta, rng=seed,
+                numeric=numeric)
+            values, engine, estimates = (sweep.values, sweep.engine,
+                                         sweep.estimates)
+        result = {
+            "fingerprint": workload.fingerprint,
+            "engine": engine,
+            "numeric": numeric,
+            "count": len(values),
+            "grid": [[str(w[r_u]), str(w[t_v])] for w in weight_maps],
+            "values": [v if numeric == "float" else str(v)
+                       for v in values],
+        }
+        if estimates is not None:
+            result["estimates"] = [e.as_dict() for e in estimates]
+        return result
+
+    def _op_estimate(self, params: dict) -> dict:
+        check_fields(params, ("query", "p", "epsilon", "delta", "seed"))
+        epsilon = take_fraction(params, "epsilon",
+                                default=DEFAULT_EPSILON)
+        delta = take_fraction(params, "delta", default=DEFAULT_DELTA)
+        seed = take_int(params, "seed", default=0)
+        workload = self._workload(params)
+        estimate = estimate_probability(
+            workload.formula, workload.tid.probability,
+            epsilon, delta, seed)
+        return {
+            "fingerprint": workload.fingerprint,
+            "engine": "estimate",
+            "estimate": estimate.as_dict(),
+        }
+
+    def _sampling_circuit(self, params: dict):
+        budget = take_int(params, "budget_nodes", default=None,
+                          minimum=2)
+        workload = self._workload(params)
+        try:
+            circuit = self._compiled(workload, budget)
+        except CompilationBudgetExceeded:
+            raise ProtocolError(
+                "budget-exceeded",
+                f"sampling needs the compiled circuit and compilation "
+                f"of {workload.fingerprint[:12]} exceeded {budget} "
+                f"nodes") from None
+        return workload, circuit
+
+    def _op_sample(self, params: dict) -> dict:
+        check_fields(params, ("query", "p", "k", "seed",
+                              "budget_nodes"))
+        k = take_int(params, "k", default=1, minimum=0, maximum=10_000)
+        seed = take_int(params, "seed", default=0)
+        workload, circuit = self._sampling_circuit(params)
+        try:
+            worlds = circuit.sample(workload.tid.probability, k,
+                                    rng=seed)
+        except ValueError as error:
+            raise ProtocolError("bad-request", str(error)) from None
+        return {
+            "fingerprint": workload.fingerprint,
+            "engine": "exact",
+            "seed": seed,
+            "worlds": [encode_world(world) for world in worlds],
+        }
+
+    def _op_top_k(self, params: dict) -> dict:
+        check_fields(params, ("query", "p", "k", "budget_nodes"))
+        k = take_int(params, "k", default=1, minimum=1, maximum=10_000)
+        workload, circuit = self._sampling_circuit(params)
+        pairs = circuit.top_k_worlds(workload.tid.probability, k)
+        return {
+            "fingerprint": workload.fingerprint,
+            "engine": "exact",
+            "worlds": [{"probability": str(prob),
+                        "float": float(prob),
+                        "world": encode_world(world)}
+                       for prob, world in pairs],
+        }

@@ -1,0 +1,120 @@
+"""End-to-end service smoke check: ``python -m repro.service.smoke``.
+
+Boots a real ``repro serve`` subprocess on an ephemeral port, drives it
+through both the client library and the ``repro query`` CLI, and
+asserts the observable contract CI cares about:
+
+* exact answers report ``engine: exact`` and the right method;
+* a starved per-request budget degrades that request to the estimator
+  (``engine: estimate`` with a populated Hoeffding interval) without
+  affecting later exact requests;
+* the ``stats`` endpoint shows warm-cache behaviour — one compilation,
+  growing memory hits — after repeated queries;
+* shutdown-over-the-wire stops the server process.
+
+Exit status 0 on success; any failed expectation raises and exits
+non-zero, so this file is directly usable as a CI job step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+QUERY = "(R|S1)(S1|T)"
+
+
+def _require(condition: bool, label: str, context) -> None:
+    if not condition:
+        raise SystemExit(f"service smoke FAILED: {label}: {context!r}")
+
+
+def _cli_query(port: int, *argv: str) -> dict:
+    """One ``repro query`` CLI invocation, parsed from its JSON."""
+    command = [sys.executable, "-m", "repro", "query",
+               "--port", str(port), *argv]
+    proc = subprocess.run(command, capture_output=True, text=True,
+                          timeout=120)
+    _require(proc.returncode == 0, "CLI query exited non-zero",
+             (command, proc.stdout, proc.stderr))
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+    try:
+        banner = server.stdout.readline().strip()
+        _require(banner.startswith("repro service listening on"),
+                 "missing listen banner", banner)
+        port = int(banner.rsplit(":", 1)[1])
+        print(f"smoke: server up on port {port}")
+
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=port, timeout=120) as client:
+            stats = client.stats()
+            _require(stats["cache"]["compiles"] == 0,
+                     "cold server already compiled", stats["cache"])
+
+            result = client.evaluate(QUERY, p=4)
+            _require(result["engine"] == "exact"
+                     and result["method"] == "wmc",
+                     "exact evaluate provenance", result)
+            _require(result["value"] == "4181/131072",
+                     "exact evaluate value", result)
+
+            sweep = client.sweep(QUERY, p=4, grid=6)
+            _require(sweep["engine"] == "exact"
+                     and sweep["count"] == 6,
+                     "exact sweep provenance", sweep)
+
+            stats = client.stats()
+            _require(stats["cache"]["compiles"] == 1,
+                     "one compilation serves evaluate + sweep",
+                     stats["cache"])
+            _require(stats["cache"]["hits"] >= 1,
+                     "warm memory hits recorded", stats["cache"])
+
+            degraded = client.evaluate(QUERY, p=6, budget_nodes=2)
+            _require(degraded["engine"] == "estimate"
+                     and degraded["method"] == "estimate"
+                     and degraded["estimate"]["samples"] > 0,
+                     "budget-starved request degrades to estimator",
+                     degraded)
+
+            stats = client.stats()
+            _require(stats["cache"]["budget_aborts"] >= 1,
+                     "budget abort counted", stats["cache"])
+
+        # The same contract through the CLI client.
+        result = _cli_query(port, "evaluate", QUERY, "--p", "4")
+        _require(result["engine"] == "exact"
+                 and result["value"] == "4181/131072",
+                 "CLI evaluate", result)
+        stats = _cli_query(port, "stats")
+        _require(stats["cache"]["compiles"] == 1,
+                 "CLI evaluate reused the warm circuit",
+                 stats["cache"])
+        _require(stats["service"]["requests"] >= 7,
+                 "request counter advanced", stats["service"])
+
+        _cli_query(port, "shutdown")
+        server.wait(timeout=30)
+        print("service smoke: OK "
+              f"(1 compilation, {stats['cache']['hits']} memory hits, "
+              f"{stats['service']['requests']} requests)")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

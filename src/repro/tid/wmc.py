@@ -30,6 +30,7 @@ kept as an independent validation oracle and as the benchmark baseline
 from __future__ import annotations
 
 import os
+import threading
 
 from collections import OrderedDict
 from fractions import Fraction
@@ -57,6 +58,18 @@ from repro.tid.database import TID
 from repro.tid.lineage import lineage
 
 ONE = Fraction(1)
+
+#: Guards every piece of module-level cache state below — the LRU
+#: mapping and its node counter, the stats counters, the budget-failure
+#: memo, and the store handle — so concurrent callers (the service's
+#: worker pool, multi-threaded library users) can never corrupt the LRU
+#: ordering or lose counter increments.  The *exponential* work
+#: (``compile_cnf``) deliberately runs outside the lock: two threads
+#: racing on the same formula at worst compile it twice (the second
+#: result wins benignly in ``_remember``); callers that must not pay a
+#: duplicate compilation dedupe in-flight work above this layer
+#: (``repro.service.scheduler.CompilePool``).
+_LOCK = threading.RLock()
 
 #: Tier-1 compilation cache: canonical CNF -> compiled circuit, LRU.
 _CIRCUIT_CACHE: OrderedDict[CNF, Circuit] = OrderedDict()
@@ -107,35 +120,38 @@ def set_circuit_store(store) -> None:
     """
     global _circuit_store
     if store is None or hasattr(store, "get"):
-        _circuit_store = store
+        with _LOCK:
+            _circuit_store = store
     else:
         from repro.booleans.store import CircuitStore
-        _circuit_store = CircuitStore(store)
+        with _LOCK:
+            _circuit_store = CircuitStore(store)
 
 
 def get_circuit_store():
     """The active tier-2 store (resolving ``REPRO_CIRCUIT_STORE`` on
     first call), or None."""
-    global _circuit_store
-    if _circuit_store is False:
-        path = os.environ.get(_STORE_ENV)
-        set_circuit_store(path if path else None)
-    return _circuit_store
+    with _LOCK:
+        if _circuit_store is False:
+            path = os.environ.get(_STORE_ENV)
+            set_circuit_store(path if path else None)
+        return _circuit_store
 
 
 def set_cache_limits(max_nodes: int | None = None,
                      max_entries: int | None = None) -> None:
     """Tune the tier-1 bounds (None keeps the current value)."""
     global _CACHE_NODE_LIMIT, _CACHE_ENTRY_LIMIT
-    if max_nodes is not None:
-        if max_nodes <= 0:
-            raise ValueError("max_nodes must be positive")
-        _CACHE_NODE_LIMIT = max_nodes
-    if max_entries is not None:
-        if max_entries <= 0:
-            raise ValueError("max_entries must be positive")
-        _CACHE_ENTRY_LIMIT = max_entries
-    _evict()
+    if max_nodes is not None and max_nodes <= 0:
+        raise ValueError("max_nodes must be positive")
+    if max_entries is not None and max_entries <= 0:
+        raise ValueError("max_entries must be positive")
+    with _LOCK:
+        if max_nodes is not None:
+            _CACHE_NODE_LIMIT = max_nodes
+        if max_entries is not None:
+            _CACHE_ENTRY_LIMIT = max_entries
+        _evict()
 
 
 def cache_info() -> dict:
@@ -144,19 +160,21 @@ def cache_info() -> dict:
     compilations, budget aborts), and whether a tier-2 store is
     attached — enough to read warm-start behaviour off a CI log."""
     store = get_circuit_store()
-    return {
-        "entries": len(_CIRCUIT_CACHE),
-        "nodes": _cache_nodes,
-        "entry_limit": _CACHE_ENTRY_LIMIT,
-        "node_limit": _CACHE_NODE_LIMIT,
-        "store_attached": store is not None,
-        **_stats,
-    }
+    with _LOCK:
+        return {
+            "entries": len(_CIRCUIT_CACHE),
+            "nodes": _cache_nodes,
+            "entry_limit": _CACHE_ENTRY_LIMIT,
+            "node_limit": _CACHE_NODE_LIMIT,
+            "store_attached": store is not None,
+            **_stats,
+        }
 
 
 def _evict() -> None:
     """Drop LRU entries until both bounds hold (the most recent entry
-    always survives, even when it alone exceeds the node limit)."""
+    always survives, even when it alone exceeds the node limit).
+    Caller holds ``_LOCK``."""
     global _cache_nodes
     while len(_CIRCUIT_CACHE) > 1 and (
             len(_CIRCUIT_CACHE) > _CACHE_ENTRY_LIMIT
@@ -166,6 +184,7 @@ def _evict() -> None:
 
 
 def _remember(formula: CNF, circuit: Circuit) -> None:
+    """Caller holds ``_LOCK``."""
     global _cache_nodes
     replaced = _CIRCUIT_CACHE.pop(formula, None)
     if replaced is not None:
@@ -195,38 +214,52 @@ def compiled(formula: CNF,
     search (the disk store is still consulted first, in case another
     process finished the compilation).
     """
-    circuit = _CIRCUIT_CACHE.get(formula)
-    if circuit is not None:
-        _CIRCUIT_CACHE.move_to_end(formula)
-        _stats["hits"] += 1
-        return circuit
+    with _LOCK:
+        circuit = _CIRCUIT_CACHE.get(formula)
+        if circuit is not None:
+            _CIRCUIT_CACHE.move_to_end(formula)
+            _stats["hits"] += 1
+            return circuit
     store = get_circuit_store()
     if store is not None:
+        # Disk I/O runs unlocked; re-check the memory tier afterwards
+        # in case a concurrent thread finished the same lookup first.
         circuit = store.get(formula)
-        if circuit is not None:
-            _stats["store_hits"] += 1
-            _remember(formula, circuit)
-            return circuit
-        _stats["store_misses"] += 1
+        with _LOCK:
+            if circuit is not None:
+                _stats["store_hits"] += 1
+                _remember(formula, circuit)
+                return circuit
+            _stats["store_misses"] += 1
+            raced = _CIRCUIT_CACHE.get(formula)
+            if raced is not None:
+                _CIRCUIT_CACHE.move_to_end(formula)
+                _stats["hits"] += 1
+                return raced
     if budget_nodes is not None:
-        known_insufficient = _BUDGET_FAILURES.get(formula)
-        if known_insufficient is not None and \
-                budget_nodes <= known_insufficient:
-            _stats["budget_aborts"] += 1
-            raise CompilationBudgetExceeded(budget_nodes)
+        with _LOCK:
+            known_insufficient = _BUDGET_FAILURES.get(formula)
+            if known_insufficient is not None and \
+                    budget_nodes <= known_insufficient:
+                _stats["budget_aborts"] += 1
+                raise CompilationBudgetExceeded(budget_nodes)
     try:
+        # The exponential search runs outside the lock so one hard
+        # compilation cannot stall unrelated cache traffic.
         circuit = compile_cnf(formula, budget_nodes)
     except CompilationBudgetExceeded:
-        _stats["budget_aborts"] += 1
-        _BUDGET_FAILURES[formula] = max(
-            _BUDGET_FAILURES.get(formula, 0), budget_nodes)
-        _BUDGET_FAILURES.move_to_end(formula)
-        while len(_BUDGET_FAILURES) > _BUDGET_FAILURE_LIMIT:
-            _BUDGET_FAILURES.popitem(last=False)
+        with _LOCK:
+            _stats["budget_aborts"] += 1
+            _BUDGET_FAILURES[formula] = max(
+                _BUDGET_FAILURES.get(formula, 0), budget_nodes)
+            _BUDGET_FAILURES.move_to_end(formula)
+            while len(_BUDGET_FAILURES) > _BUDGET_FAILURE_LIMIT:
+                _BUDGET_FAILURES.popitem(last=False)
         raise
-    _BUDGET_FAILURES.pop(formula, None)
-    _stats["compiles"] += 1
-    _remember(formula, circuit)
+    with _LOCK:
+        _BUDGET_FAILURES.pop(formula, None)
+        _stats["compiles"] += 1
+        _remember(formula, circuit)
     if store is not None:
         # Write-through is best-effort, mirroring the read side (which
         # treats unreadable entries as misses): a read-only or full
@@ -239,12 +272,23 @@ def compiled(formula: CNF,
     return circuit
 
 
+def is_cached(formula: CNF) -> bool:
+    """Whether ``formula``'s circuit sits in the tier-1 memory cache
+    right now — a pure probe: no counters move, no LRU reordering.
+    The service uses this to decide whether a sweep should pay the
+    coalescing window (cold compile ahead: batch up) or answer
+    immediately (circuit already hot: the pass is linear anyway)."""
+    with _LOCK:
+        return formula in _CIRCUIT_CACHE
+
+
 def adopt(formula: CNF, circuit: Circuit) -> None:
     """Install a pre-built circuit (e.g. deserialized from a file) as
     ``formula``'s compilation, so subsequent ``compiled``/sweep calls
     skip the exponential search entirely."""
-    _BUDGET_FAILURES.pop(formula, None)
-    _remember(formula, circuit)
+    with _LOCK:
+        _BUDGET_FAILURES.pop(formula, None)
+        _remember(formula, circuit)
 
 
 def clear_circuit_cache() -> None:
@@ -252,11 +296,12 @@ def clear_circuit_cache() -> None:
     counters (mainly for tests and benchmarks; the disk store is
     untouched)."""
     global _cache_nodes
-    _CIRCUIT_CACHE.clear()
-    _BUDGET_FAILURES.clear()
-    _cache_nodes = 0
-    for key in _stats:
-        _stats[key] = 0
+    with _LOCK:
+        _CIRCUIT_CACHE.clear()
+        _BUDGET_FAILURES.clear()
+        _cache_nodes = 0
+        for key in _stats:
+            _stats[key] = 0
 
 
 def probability(query: Query, tid: TID) -> Fraction:

@@ -335,3 +335,76 @@ class TestTwoTierCache:
             os.chmod(store_dir, stat.S_IRWXU)
             wmc.set_circuit_store(None)
             wmc.clear_circuit_cache()
+
+
+class TestAtomicWrites:
+    def test_atomic_write_bytes_basic(self, tmp_path):
+        from repro.booleans.store import atomic_write_bytes
+
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"first")
+        assert target.read_bytes() == b"first"
+        atomic_write_bytes(target, b"second")
+        assert target.read_bytes() == b"second"
+        # No temp-file litter survives a successful publish.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_atomic_write_bytes_relative_path(self, tmp_path,
+                                              monkeypatch):
+        from repro.booleans.store import atomic_write_bytes
+
+        monkeypatch.chdir(tmp_path)
+        atomic_write_bytes("bare-name.bin", b"data")
+        assert (tmp_path / "bare-name.bin").read_bytes() == b"data"
+
+    def test_concurrent_writers_never_expose_a_torn_file(
+            self, tmp_path):
+        """Many threads hammering the same key (two service workers,
+        or service + CLI) while a reader polls: every load returns a
+        complete circuit — one of the writers' payloads — or a clean
+        pre-first-write miss, never a torn/corrupt blob."""
+        import threading
+
+        formula_a, _ = block_formula(p=2)
+        formula_b, _ = block_formula(p=3)
+        circuit_a = compile_cnf(formula_a)
+        circuit_b = compile_cnf(formula_b)
+        valid = {circuit_a.to_bytes(), circuit_b.to_bytes()}
+        store = CircuitStore(tmp_path)
+        key = "ab" + "0" * 62
+        stop = threading.Event()
+        failures = []
+
+        def writer(circuit):
+            while not stop.is_set():
+                store.save(key, circuit)
+
+        def reader():
+            seen = 0
+            while seen < 200 and not failures:
+                existed = store.path_for(key).exists()
+                loaded = store.load(key)
+                if loaded is None:
+                    # Only legitimate before the first publish: once
+                    # the blob exists, atomic replacement means every
+                    # read sees a complete payload (a None here would
+                    # be a torn read, which load() deletes).
+                    if existed:
+                        failures.append("miss after first publish")
+                    continue
+                if loaded.to_bytes() not in valid:
+                    failures.append("foreign payload")
+                seen += 1
+            stop.set()
+
+        threads = [threading.Thread(target=writer, args=(c,))
+                   for c in (circuit_a, circuit_b) for _ in range(2)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert failures == []
+        # The final state is a complete circuit, and no temp litter.
+        assert store.load(key).to_bytes() in valid
+        assert list(tmp_path.glob("**/*.tmp")) == []

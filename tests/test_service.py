@@ -1,0 +1,480 @@
+"""The query service end to end: a real server on an ephemeral port,
+real sockets, the client library and the CLI verbs against it."""
+
+import json
+import socket
+import subprocess
+import sys
+import threading
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main, parse_query
+from repro.evaluation import evaluate, probability_sweep
+from repro.reduction.blocks import path_block
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_world,
+    dump_line,
+)
+from repro.service.scheduler import CompilePool, SweepCoalescer
+from repro.service.server import ReproServer
+from repro.tid import wmc
+from repro.tid.lineage import lineage
+
+F = Fraction
+QUERY = "(R|S1)(S1|T)"
+
+
+def workload(text=QUERY, p=4):
+    query = parse_query(text)
+    tid = path_block(query, p)
+    return query, tid, lineage(query, tid)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    wmc.clear_circuit_cache()
+    wmc.set_circuit_store(None)
+    yield
+    wmc.set_circuit_store(None)
+    wmc.clear_circuit_cache()
+
+
+@pytest.fixture()
+def server():
+    with ReproServer(port=0, window=0.02) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(*server.address) as c:
+        yield c
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        assert client.ping() == {"pong": True}
+
+    def test_evaluate_matches_library(self, client):
+        query, tid, _ = workload()
+        expected = evaluate(query, tid)
+        result = client.evaluate(QUERY, p=4)
+        assert result["value"] == str(expected.value)
+        assert result["method"] == expected.method
+        assert result["engine"] == "exact"
+        assert result["safe"] == expected.safe
+        assert result["float"] == pytest.approx(float(expected.value))
+
+    def test_evaluate_safe_query_goes_lifted(self, client):
+        result = client.evaluate("(R|S1)", p=3)
+        assert result["method"] == "lifted"
+        assert result["engine"] == "exact"
+        assert result["safe"] is True
+
+    def test_forced_methods(self, client):
+        exact = client.evaluate(QUERY, p=3, method="shannon")
+        assert exact["method"] == "shannon"
+        est = client.evaluate(QUERY, p=3, method="estimate", seed=7)
+        assert est["method"] == "estimate"
+        assert est["estimate"]["samples"] > 0
+        # The estimator's interval must contain the exact value.
+        low, high = F(est["estimate"]["low"]), F(est["estimate"]["high"])
+        assert low <= F(exact["value"]) <= high
+
+    def test_per_request_budget_degrades_gracefully(self, client):
+        degraded = client.evaluate(QUERY, p=6, budget_nodes=2, seed=1)
+        assert degraded["engine"] == "estimate"
+        assert degraded["method"] == "estimate"
+        assert degraded["estimate"]["samples"] > 0
+        # The degradation is per-request: the same query still answers
+        # exactly once the budget allows it.
+        exact = client.evaluate(QUERY, p=6)
+        assert exact["engine"] == "exact"
+
+    def test_compile_then_memory_cache(self, client):
+        first = client.compile(QUERY, p=4)
+        assert first["source"] == "compiled"
+        assert first["circuit"]["size"] > 0
+        assert len(first["fingerprint"]) == 64
+        again = client.compile(QUERY, p=4)
+        assert again["source"] == "memory cache"
+        assert again["circuit"] == first["circuit"]
+
+    def test_compile_budget_exceeded_is_structured(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.compile(QUERY, p=6, budget_nodes=2)
+        assert info.value.code == "budget-exceeded"
+
+    def test_sweep_matches_library(self, client):
+        from repro.evaluation import endpoint_weight_grid
+
+        _, tid, formula = workload()
+        expected = probability_sweep(
+            formula, endpoint_weight_grid(formula, tid, 5))
+        result = client.sweep(QUERY, p=4, grid=5)
+        assert result["engine"] == "exact"
+        assert result["values"] == [str(v) for v in expected]
+        assert len(result["grid"]) == 5
+
+    def test_sweep_float_numeric(self, client):
+        result = client.sweep(QUERY, p=4, grid=4, numeric="float")
+        assert result["engine"] == "exact"
+        assert all(isinstance(v, float) for v in result["values"])
+
+    def test_sweep_budget_degrades_with_estimates(self, client):
+        result = client.sweep(QUERY, p=6, grid=3, budget_nodes=2,
+                              seed=3)
+        assert result["engine"] == "estimate"
+        assert len(result["estimates"]) == 3
+        assert all(e["samples"] > 0 for e in result["estimates"])
+
+    def test_evaluate_batch(self, client):
+        result = client.evaluate_batch(QUERY, ps=[2, 3, 4])
+        assert result["count"] == 3
+        for p, entry in zip([2, 3, 4], result["results"]):
+            query, tid, _ = workload(p=p)
+            assert entry["value"] == str(evaluate(query, tid).value)
+            assert entry["p"] == p
+
+    def test_estimate(self, client):
+        result = client.estimate(QUERY, p=4, epsilon="1/10", seed=2)
+        assert result["engine"] == "estimate"
+        assert result["estimate"]["epsilon"] == "1/10"
+        query, tid, _ = workload()
+        exact = evaluate(query, tid).value
+        assert (F(result["estimate"]["low"]) <= exact
+                <= F(result["estimate"]["high"]))
+
+    def test_sample_worlds_satisfy_the_lineage(self, client):
+        result = client.sample(QUERY, p=4, k=5, seed=11)
+        _, _, formula = workload()
+        assert len(result["worlds"]) == 5
+        for encoded in result["worlds"]:
+            world = decode_world(encoded)
+            assert set(world) == formula.variables()
+            true_vars = {var for var, val in world.items() if val}
+            assert formula.evaluate(true_vars)
+
+    def test_sample_is_seed_deterministic(self, client):
+        a = client.sample(QUERY, p=4, k=3, seed=9)
+        b = client.sample(QUERY, p=4, k=3, seed=9)
+        assert a["worlds"] == b["worlds"]
+
+    def test_top_k_matches_circuit(self, client):
+        _, tid, formula = workload()
+        expected = wmc.compiled(formula).top_k_worlds(
+            tid.probability, 4)
+        result = client.top_k(QUERY, p=4, k=4)
+        assert [w["probability"] for w in result["worlds"]] == \
+            [str(prob) for prob, _ in expected]
+        assert [decode_world(w["world"]) for w in result["worlds"]] == \
+            [world for _, world in expected]
+
+    def test_stats_shape(self, client):
+        client.evaluate(QUERY, p=4)
+        stats = client.stats()
+        for key in ("hits", "compiles", "store_misses",
+                    "budget_aborts", "store_attached"):
+            assert key in stats["cache"]
+        for key in ("requests", "errors", "ops", "coalesced_batches",
+                    "batch_passes", "compile_jobs", "compile_joins",
+                    "workers", "window_s", "uptime_s"):
+            assert key in stats["service"]
+        assert stats["service"]["ops"]["evaluate"] == 1
+
+
+class TestErrors:
+    def test_bad_query_text(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.evaluate("no parens here")
+        assert info.value.code == "bad-query"
+
+    def test_stray_param_rejected(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.call("evaluate", query=QUERY, tpyo=1)
+        assert info.value.code == "bad-request"
+        assert "tpyo" in info.value.message
+
+    def test_bad_method_rejected(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.evaluate(QUERY, method="magic")
+        assert info.value.code == "bad-request"
+
+    def test_sweep_without_endpoints_rejected(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.sweep("(S1|S2)", p=3)
+        assert info.value.code == "bad-query"
+
+    def test_connection_survives_malformed_lines(self, server):
+        with socket.create_connection(server.address,
+                                      timeout=30) as sock:
+            handle = sock.makefile("rwb")
+            for garbage in (b"{not json\n", b"[1,2]\n",
+                            b'{"v":99,"op":"ping"}\n',
+                            b'{"v":%d,"op":"nope"}\n'
+                            % PROTOCOL_VERSION):
+                handle.write(garbage)
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response["ok"] is False
+                assert response["error"]["code"] in (
+                    "parse-error", "bad-request",
+                    "unsupported-version", "unknown-op")
+            # After four rejected requests the connection still works.
+            handle.write(dump_line(
+                {"v": PROTOCOL_VERSION, "id": 1, "op": "ping"}))
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is True
+            assert response["result"] == {"pong": True}
+
+    def test_internal_errors_do_not_kill_the_connection(self, client):
+        # Probability-zero sampling is a domain error, reported
+        # structurally, and the session continues.
+        with pytest.raises(ServiceError) as info:
+            client.call("sample", query=QUERY, p=4, k="three")
+        assert info.value.code == "bad-request"
+        assert client.ping() == {"pong": True}
+
+
+class TestCoalescing:
+    def test_concurrent_sweeps_one_compile_one_pass(self):
+        """The acceptance criterion: N concurrent same-fingerprint
+        sweep requests trigger exactly one compilation and coalesce
+        into one batched pass, observable via the stats endpoint."""
+        n = 5
+        with ReproServer(port=0, window=0.5) as server:
+            results = [None] * n
+            barrier = threading.Barrier(n)
+
+            def worker(i):
+                with ServiceClient(*server.address) as c:
+                    barrier.wait()
+                    results[i] = c.sweep(QUERY, p=6, grid=8)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(*server.address) as c:
+                stats = c.stats()
+
+        assert all(r is not None for r in results)
+        assert all(r["engine"] == "exact" for r in results)
+        # Every client got the same (correct) values...
+        from repro.evaluation import endpoint_weight_grid
+
+        _, tid, formula = workload(p=6)
+        expected = [str(v) for v in probability_sweep(
+            formula, endpoint_weight_grid(formula, tid, 8))]
+        assert all(r["values"] == expected for r in results)
+        # ...from exactly one compilation and one batched pass.
+        assert stats["cache"]["compiles"] == 1
+        assert stats["service"]["batch_passes"] == 1
+        assert stats["service"]["coalesced_batches"] == 1
+        assert stats["service"]["coalesced_requests"] == n - 1
+
+    def test_budget_blocked_concurrent_sweeps_stay_seed_reproducible(
+            self):
+        """Estimator-path sweeps never share a coalesced rng stream: a
+        request's seeded estimates are identical whether it ran alone
+        or raced N identical requests."""
+        n = 3
+        kwargs = dict(p=6, grid=3, budget_nodes=2, seed=5)
+        with ReproServer(port=0, window=0.3) as server:
+            results = [None] * n
+            barrier = threading.Barrier(n)
+
+            def worker(i):
+                with ServiceClient(*server.address) as c:
+                    barrier.wait()
+                    results[i] = c.sweep(QUERY, **kwargs)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(*server.address) as c:
+                solo = c.sweep(QUERY, **kwargs)
+        assert all(r["engine"] == "estimate" for r in results)
+        assert all(r["values"] == solo["values"] for r in results)
+        assert all(r["estimates"] == solo["estimates"]
+                   for r in results)
+
+    def test_compile_pool_dedupes_inflight(self):
+        calls = []
+        pool = CompilePool(workers=2)
+        gate = threading.Event()
+
+        def build():
+            calls.append(1)
+            gate.wait(timeout=10)
+            return "circuit"
+
+        outcomes = []
+        threads = [threading.Thread(
+            target=lambda: outcomes.append(pool.run("key", build)))
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        pool.shutdown()
+        assert outcomes == ["circuit"] * 4
+        assert len(calls) == 1
+        assert pool.stats()["compile_joins"] == 3
+
+    def test_compile_pool_propagates_errors_to_joiners(self):
+        pool = CompilePool(workers=1)
+
+        def boom():
+            raise RuntimeError("nope")
+
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                pool.run("key", boom)
+        pool.shutdown()
+
+    def test_coalescer_slices_per_request(self):
+        coalescer = SweepCoalescer(window=0.2)
+
+        class FakeSweep:
+            def __init__(self, values):
+                self.values = values
+                self.engine = "exact"
+                self.estimates = None
+
+        def runner(vectors):
+            return FakeSweep([v * 10 for v in vectors])
+
+        outcomes = {}
+        barrier = threading.Barrier(3)
+
+        def worker(name, vectors):
+            barrier.wait()
+            outcomes[name] = coalescer.submit("key", vectors, runner)
+
+        threads = [
+            threading.Thread(target=worker, args=("a", [1, 2])),
+            threading.Thread(target=worker, args=("b", [3])),
+            threading.Thread(target=worker, args=("c", [4, 5, 6]))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes["a"][0] == [10, 20]
+        assert outcomes["b"][0] == [30]
+        assert outcomes["c"][0] == [40, 50, 60]
+        assert coalescer.stats()["coalesced_batches"] == 1
+
+
+class TestStoreIntegration:
+    def test_disk_store_serves_cold_memory(self, tmp_path):
+        with ReproServer(port=0, store=str(tmp_path)) as server:
+            with ServiceClient(*server.address) as c:
+                first = c.compile(QUERY, p=4)
+                assert first["source"] == "compiled"
+                assert c.stats()["cache"]["store_attached"] is True
+                # A cold tier-1 cache (fresh process in real life)
+                # hits the disk store instead of recompiling.
+                wmc.clear_circuit_cache()
+                again = c.compile(QUERY, p=4)
+                assert again["source"] == "disk store"
+                assert c.stats()["cache"]["compiles"] == 0
+
+
+class TestCLI:
+    def test_query_verb_against_live_server(self, server, capsys):
+        host, port = server.address
+        code = main(["query", "evaluate", QUERY, "--p", "4",
+                     "--host", host, "--port", str(port)])
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["engine"] == "exact"
+        query, tid, _ = workload()
+        assert result["value"] == str(evaluate(query, tid).value)
+
+    def test_query_verb_stats(self, server, capsys):
+        host, port = server.address
+        assert main(["query", "stats", "--host", host,
+                     "--port", str(port)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "cache" in stats and "service" in stats
+
+    def test_query_verb_needs_query_text(self, server):
+        host, port = server.address
+        with pytest.raises(SystemExit, match="needs a query"):
+            main(["query", "evaluate", "--host", host,
+                  "--port", str(port)])
+
+    def test_query_verb_connection_refused_is_friendly(self):
+        # Grab a port that is definitely closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(SystemExit, match="cannot connect"):
+            main(["query", "stats", "--port", str(port)])
+
+    def test_serve_flag_validation(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "0"])
+        with pytest.raises(SystemExit, match="--window"):
+            main(["serve", "--window", "-1"])
+
+    def test_serve_verb_in_process(self, capsys):
+        """The serve verb end to end without a subprocess: banner,
+        live queries, shutdown-over-the-wire unblocking
+        serve_forever."""
+        import time as _time
+
+        outcome = {}
+
+        def run():
+            outcome["code"] = main(["serve", "--port", "0",
+                                    "--window", "0", "--budget",
+                                    "100000"])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        banner = ""
+        deadline = _time.monotonic() + 10
+        while "listening on" not in banner:
+            assert _time.monotonic() < deadline, "no listen banner"
+            banner += capsys.readouterr().out
+            _time.sleep(0.02)
+        port = int(banner.strip().rsplit(":", 1)[1])
+        with ServiceClient(port=port) as c:
+            assert c.ping() == {"pong": True}
+            assert c.evaluate(QUERY, p=3)["engine"] == "exact"
+            c.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert outcome["code"] == 0
+
+    def test_serve_subprocess_banner_and_shutdown(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("repro service listening on")
+            port = int(banner.rsplit(":", 1)[1])
+            with ServiceClient(port=port, timeout=60) as c:
+                assert c.ping() == {"pong": True}
+                c.shutdown()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

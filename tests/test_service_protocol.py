@@ -1,0 +1,234 @@
+"""The service wire protocol: framing, validation, codecs."""
+
+import json
+
+from fractions import Fraction
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_REQUEST_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_fields,
+    decode_fraction,
+    decode_world,
+    dump_line,
+    encode_fraction,
+    encode_request,
+    encode_world,
+    error_response,
+    ok_response,
+    parse_request,
+    take_fraction,
+    take_int,
+    take_int_list,
+    take_str,
+)
+
+F = Fraction
+
+
+def round_trip(obj: dict) -> dict:
+    """Through the actual framing: dump to a wire line, parse back."""
+    line = dump_line(obj)
+    assert line.endswith(b"\n") and line.count(b"\n") == 1
+    return json.loads(line)
+
+
+class TestParseRequest:
+    def test_minimal(self):
+        rid, op, params = parse_request(
+            dump_line({"v": PROTOCOL_VERSION, "op": "ping"}))
+        assert rid is None and op == "ping" and params == {}
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_every_op_round_trips(self, op):
+        request = encode_request(op, {"query": "(R|S1)(S1|T)"},
+                                 request_id=17)
+        rid, parsed_op, params = parse_request(dump_line(request))
+        assert (rid, parsed_op) == (17, op)
+        assert params == {"query": "(R|S1)(S1|T)"}
+
+    def test_string_ids_supported(self):
+        request = encode_request("ping", request_id="req-abc")
+        assert parse_request(dump_line(request))[0] == "req-abc"
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"{nope")
+        assert info.value.code == "parse-error"
+
+    def test_not_utf8(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"\xff\xfe{}")
+        assert info.value.code == "parse-error"
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"[1, 2]")
+        assert info.value.code == "bad-request"
+
+    def test_wrong_version(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line({"v": 99, "op": "ping", "id": 3}))
+        assert info.value.code == "unsupported-version"
+        # The id was readable, so the error can still be correlated.
+        assert info.value.request_id == 3
+
+    def test_missing_version(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line({"op": "ping"}))
+        assert info.value.code == "unsupported-version"
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line({"v": PROTOCOL_VERSION}))
+        assert info.value.code == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line(
+                {"v": PROTOCOL_VERSION, "op": "drop-tables"}))
+        assert info.value.code == "unknown-op"
+
+    def test_params_must_be_object(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line(
+                {"v": PROTOCOL_VERSION, "op": "ping", "params": [1]}))
+        assert info.value.code == "bad-request"
+
+    def test_bool_id_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line(
+                {"v": PROTOCOL_VERSION, "op": "ping", "id": True}))
+        assert info.value.code == "bad-request"
+
+    def test_stray_top_level_fields_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line(
+                {"v": PROTOCOL_VERSION, "op": "ping", "extra": 1}))
+        assert info.value.code == "bad-request"
+        assert "extra" in info.value.message
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        response = round_trip(ok_response(5, "stats", {"cache": {}}))
+        assert response == {"v": PROTOCOL_VERSION, "id": 5, "ok": True,
+                            "op": "stats", "result": {"cache": {}}}
+
+    def test_error_shape(self):
+        response = round_trip(
+            error_response(None, "bad-query", "no clauses"))
+        assert response["ok"] is False
+        assert response["error"] == {"code": "bad-query",
+                                     "message": "no clauses"}
+
+    def test_error_codes_are_closed(self):
+        with pytest.raises(ValueError):
+            ProtocolError("made-up-code", "boom")
+        for code in ERROR_CODES:
+            assert ProtocolError(code, "x").code == code
+
+
+class TestFractionCodec:
+    @pytest.mark.parametrize("value", [
+        F(0), F(1), F(1, 3), F(-7, 2), F(4181, 131072)])
+    def test_round_trip(self, value):
+        assert decode_fraction(encode_fraction(value)) == value
+
+    def test_int_accepted(self):
+        assert decode_fraction(3) == F(3)
+
+    def test_float_means_its_decimal(self):
+        # The JSON number 0.05 means 1/20 — what the human typed — not
+        # the nearest binary double.
+        assert decode_fraction(0.05) == F(1, 20)
+
+    @pytest.mark.parametrize("bad", [True, [1], {"n": 1}, "abc", "1/0"])
+    def test_rejects(self, bad):
+        with pytest.raises(ProtocolError) as info:
+            decode_fraction(bad, "epsilon")
+        assert info.value.code == "bad-request"
+        assert "epsilon" in info.value.message
+
+
+class TestWorldCodec:
+    def test_round_trip_tuple_tokens(self):
+        world = {("R", "u"): True, ("S1", "u", "v"): False,
+                 ("T", "v"): True}
+        decoded = decode_world(json.loads(
+            json.dumps(encode_world(world))))
+        assert decoded == world
+        # Tuple tokens come back as tuples, never list lookalikes.
+        assert all(isinstance(var, tuple) for var in decoded)
+
+    def test_deterministic_order(self):
+        world = {("S1", "u", "v"): True, ("R", "u"): False}
+        assert encode_world(world) == encode_world(dict(
+            reversed(list(world.items()))))
+
+    def test_decode_rejects_non_list(self):
+        with pytest.raises(ProtocolError):
+            decode_world({"not": "a list"})
+
+
+class TestValidators:
+    def test_take_str_required_missing(self):
+        with pytest.raises(ProtocolError) as info:
+            take_str({}, "query")
+        assert info.value.code == "bad-request"
+        assert "query" in info.value.message
+
+    def test_take_str_choices(self):
+        assert take_str({"m": "auto"}, "m", choices=("auto",)) == "auto"
+        with pytest.raises(ProtocolError):
+            take_str({"m": "nope"}, "m", choices=("auto",))
+
+    def test_take_str_type(self):
+        with pytest.raises(ProtocolError):
+            take_str({"query": 7}, "query")
+
+    def test_take_int_defaults_and_bounds(self):
+        assert take_int({}, "p", default=4) == 4
+        assert take_int({"p": 6}, "p", default=4, minimum=1,
+                        maximum=64) == 6
+        with pytest.raises(ProtocolError):
+            take_int({"p": 0}, "p", default=4, minimum=1)
+        with pytest.raises(ProtocolError):
+            take_int({"p": 65}, "p", default=4, maximum=64)
+
+    def test_take_int_rejects_bool_and_float(self):
+        with pytest.raises(ProtocolError):
+            take_int({"p": True}, "p", default=4)
+        with pytest.raises(ProtocolError):
+            take_int({"p": 4.0}, "p", default=4)
+
+    def test_take_fraction_default(self):
+        assert take_fraction({}, "epsilon", default=F(1, 20)) == F(1, 20)
+        assert take_fraction({"epsilon": "1/8"}, "epsilon",
+                             default=F(1, 20)) == F(1, 8)
+
+    def test_take_int_list(self):
+        assert take_int_list({"ps": [2, 3, 4]}, "ps",
+                             minimum=1) == [2, 3, 4]
+        for bad in ([], "2,3", [2, "3"], [0], [True]):
+            with pytest.raises(ProtocolError):
+                take_int_list({"ps": bad}, "ps", minimum=1)
+
+    def test_take_int_list_cap(self):
+        with pytest.raises(ProtocolError):
+            take_int_list({"ps": list(range(1, 12))}, "ps",
+                          max_items=10)
+
+    def test_check_fields(self):
+        check_fields({"query": "q", "p": 4}, ("query", "p", "grid"))
+        with pytest.raises(ProtocolError) as info:
+            check_fields({"query": "q", "tpyo": 1}, ("query", "p"))
+        assert "tpyo" in info.value.message
+
+    def test_request_size_cap_is_sane(self):
+        assert MAX_REQUEST_BYTES >= 65536

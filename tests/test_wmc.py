@@ -101,3 +101,54 @@ class TestAgainstBrute:
         probs = {**p1, **p2}
         assert cnf_probability(joint, probs) == \
             cnf_probability(f1, p1) * cnf_probability(f2, p2)
+
+
+class TestThreadSafety:
+    def test_concurrent_compiled_keeps_cache_consistent(self):
+        """Hammer the module-level cache from many threads (the
+        service's worker pool shape): the LRU bounds must hold, the
+        node accounting must match the cached circuits exactly, and
+        every call must be classified as a hit or a compile."""
+        import threading
+
+        from repro.tid import wmc
+
+        formulas = [
+            CNF([[f"a{i}", f"b{i}"], [f"b{i}", f"c{i}"],
+                 [f"c{i}", f"d{i}"]])
+            for i in range(12)]
+        expected = {
+            formula: cnf_probability(formula) for formula in formulas}
+        wmc.clear_circuit_cache()
+        wmc.set_circuit_store(None)
+        wmc.set_cache_limits(max_entries=5)
+        wrong = []
+        barrier = threading.Barrier(8)
+
+        def worker(offset):
+            barrier.wait()
+            for step in range(3 * len(formulas)):
+                formula = formulas[(offset + step) % len(formulas)]
+                if wmc.compiled(formula).probability() \
+                        != expected[formula]:
+                    wrong.append(formula)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert wrong == []
+            info = wmc.cache_info()
+            # Bounds held under concurrent eviction...
+            assert info["entries"] <= 5
+            # ...the node accounting is exact (no lost updates)...
+            assert info["nodes"] == sum(
+                c.size for c in wmc._CIRCUIT_CACHE.values())
+            # ...and no call fell through the counters.
+            assert info["hits"] + info["compiles"] == 8 * 3 * 12
+        finally:
+            wmc.set_cache_limits(max_nodes=4_000_000, max_entries=1024)
+            wmc.clear_circuit_cache()
