@@ -24,7 +24,13 @@ The public API re-exports the main objects:
 * budgeted approximation: ``compile_cnf(..., budget_nodes=...)`` /
   :class:`CompilationBudgetExceeded`, ``estimate_probability`` /
   :class:`ProbabilityEstimate` (Monte-Carlo with Hoeffding bounds),
-  and ``cnf_probability_auto`` (exact under budget, else estimate).
+  and ``cnf_probability_auto`` (exact under budget, else estimate);
+* adaptive estimation: ``adaptive_estimate_probability``
+  (empirical-Bernstein early stopping),
+  ``importance_estimate_probability`` (self-normalized tilted
+  sampling with relative-error targets), and :class:`BudgetPlanner`
+  (per-formula compilation budgets from the observed circuit-size
+  trajectory).
 """
 
 from repro.core import (
@@ -57,6 +63,11 @@ from repro.booleans.circuit import (
     Circuit,
     CompilationBudgetExceeded,
     compile_cnf,
+)
+from repro.booleans.adaptive import (
+    BudgetPlanner,
+    adaptive_estimate_probability,
+    importance_estimate_probability,
 )
 from repro.booleans.approximate import (
     ProbabilityEstimate,
@@ -98,13 +109,16 @@ __all__ = [
     "evaluate_batch",
     "probability_sweep",
     "EvaluationResult",
+    "BudgetPlanner",
     "Circuit",
     "CircuitStore",
     "CompilationBudgetExceeded",
     "ProbabilityEstimate",
+    "adaptive_estimate_probability",
     "cnf_fingerprint",
     "cnf_probability_auto",
     "estimate_probability",
+    "importance_estimate_probability",
     "set_circuit_store",
     "compile_cnf",
     "__version__",

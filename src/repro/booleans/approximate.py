@@ -75,11 +75,25 @@ def hoeffding_sample_count(epsilon, delta) -> int:
 
 @dataclass(frozen=True)
 class ProbabilityEstimate:
-    """A Monte-Carlo point estimate of Pr(F) with its Hoeffding bound.
+    """A Monte-Carlo point estimate of Pr(F) with its confidence bound.
 
-    ``estimate`` is the exact rational ``successes / samples``; the
-    guarantee is ``Pr(|estimate - Pr(F)| > epsilon) <= delta`` over the
-    sampling randomness.  ``low``/``high`` clamp the interval to [0, 1].
+    For the fixed-n Hoeffding estimator ``estimate`` is the exact
+    rational ``successes / samples``; the guarantee is
+    ``Pr(|estimate - Pr(F)| > epsilon) <= delta`` over the sampling
+    randomness.  ``low``/``high`` clamp the interval to [0, 1].
+
+    The sequential estimators (``repro.booleans.adaptive``) reuse this
+    type with extra provenance: ``method`` names the bound that
+    produced the interval (``"hoeffding"``, ``"bernstein"``,
+    ``"importance"``), ``epsilon`` is then the *achieved* additive
+    half-width (never wider than the requested one),
+    ``relative_error`` the achieved relative half-width when the
+    interval stays away from 0, and ``samples_used`` the draws
+    actually taken (early stopping makes it smaller than the
+    worst-case Hoeffding count).  The self-normalized importance
+    sampler's point estimate is variance-reduced and so may differ
+    from the interval's unbiased ``center``; ``low``/``high`` follow
+    the center, and the point estimate is always inside them.
     """
 
     estimate: Fraction
@@ -87,14 +101,20 @@ class ProbabilityEstimate:
     delta: Fraction
     samples: int
     successes: int
+    method: str = "hoeffding"
+    relative_error: Fraction | None = None
+    samples_used: int | None = None
+    center: Fraction | None = None
 
     @property
     def low(self) -> Fraction:
-        return max(ZERO, self.estimate - self.epsilon)
+        center = self.estimate if self.center is None else self.center
+        return max(ZERO, center - self.epsilon)
 
     @property
     def high(self) -> Fraction:
-        return min(ONE, self.estimate + self.epsilon)
+        center = self.estimate if self.center is None else self.center
+        return min(ONE, center + self.epsilon)
 
     def contains(self, value) -> bool:
         """Whether ``value`` lies inside the confidence interval."""
@@ -106,8 +126,9 @@ class ProbabilityEstimate:
     def as_dict(self) -> dict:
         """A JSON-safe rendering: exact rationals as ``"num/den"``
         strings plus a float convenience field — the shape the service
-        protocol and any other machine consumer of an estimate use."""
-        return {
+        protocol and any other machine consumer of an estimate use.
+        ``repro.service.protocol.decode_estimate`` is the inverse."""
+        payload = {
             "estimate": str(self.estimate),
             "float": float(self.estimate),
             "epsilon": str(self.epsilon),
@@ -116,7 +137,14 @@ class ProbabilityEstimate:
             "high": str(self.high),
             "samples": self.samples,
             "successes": self.successes,
+            "method": self.method,
+            "relative_error": (None if self.relative_error is None
+                               else str(self.relative_error)),
+            "samples_used": self.samples_used,
         }
+        if self.center is not None:
+            payload["center"] = str(self.center)
+        return payload
 
     def __str__(self) -> str:
         return (f"{self.estimate} in [{self.low}, {self.high}] "

@@ -204,26 +204,56 @@ def _load_circuit(path: str, formula):
     return circuit
 
 
+def _resolve_engine(args) -> tuple[str, Fraction | None]:
+    """The (estimator, relative_error) pair of the CLI knobs: a
+    relative target implies the sequential sampler unless an engine
+    was named explicitly (the fixed-n Hoeffding estimator has no
+    relative mode)."""
+    engine = getattr(args, "engine", "hoeffding")
+    relative = getattr(args, "relative_error", None)
+    if relative is not None:
+        if relative <= 0:
+            raise SystemExit(
+                f"repro: --relative-error must be positive, "
+                f"got {relative}")
+        if engine == "hoeffding":
+            engine = "adaptive"
+    return engine, relative
+
+
 def _print_estimate(query, args, formula, tid, reason: str):
     """Run and report the Monte-Carlo estimator (the degraded path of
     ``repro compile --budget`` and the whole of ``repro estimate``)."""
-    from repro.booleans.approximate import estimate_probability
+    from repro.booleans.adaptive import ENGINE_LABELS, estimate_with
+    from repro.booleans.approximate import hoeffding_sample_count
 
-    estimate = estimate_probability(
-        formula, tid.probability,
-        epsilon=args.epsilon, delta=args.delta, rng=args.seed)
+    engine, relative = _resolve_engine(args)
+    estimate = estimate_with(
+        engine, formula, tid.probability,
+        epsilon=args.epsilon, delta=args.delta, rng=args.seed,
+        relative_error=relative)
     print(f"query:      {query}")
     print(f"block:      B_{args.p}(u, v)")
     print(f"lineage:    {len(formula)} clauses over "
           f"{len(formula.variables())} tuple variables")
-    print(f"engine:     estimate ({reason})")
+    print(f"engine:     {ENGINE_LABELS[engine]} ({reason})")
     print(f"Pr(Q) ~=    {estimate.estimate} "
           f"({float(estimate.estimate):.6f})")
     print(f"interval:   [{estimate.low}, {estimate.high}] "
-          f"(+/- {estimate.epsilon}, "
+          f"(+/- {float(estimate.epsilon):.6g}, "
           f"confidence {1 - Fraction(estimate.delta)})")
-    print(f"samples:    {estimate.samples} "
-          f"({estimate.successes} satisfying)")
+    if estimate.relative_error is not None:
+        print(f"relative:   +/- {float(estimate.relative_error):.6g} "
+              f"of the interval's lower end")
+    samples_line = (f"samples:    {estimate.samples} "
+                    f"({estimate.successes} satisfying)")
+    if engine != "hoeffding":
+        worst = hoeffding_sample_count(args.epsilon, args.delta)
+        if estimate.samples < worst:
+            samples_line += (f" — early stop saved "
+                             f"{worst - estimate.samples} of the "
+                             f"{worst} worst-case draws")
+    print(samples_line)
     return estimate
 
 
@@ -318,7 +348,10 @@ def cmd_sweep(args) -> int:
     engine = "exact"
     estimates = None
     if args.budget is not None:
-        from repro.booleans.approximate import estimate_probability_batch
+        from repro.booleans.adaptive import (
+            ENGINE_LABELS,
+            estimate_batch_with,
+        )
         from repro.booleans.circuit import CompilationBudgetExceeded
         from repro.tid.wmc import compiled
 
@@ -329,10 +362,11 @@ def cmd_sweep(args) -> int:
         try:
             compiled(formula, args.budget)
         except CompilationBudgetExceeded:
-            engine = "estimate"
-            estimates = estimate_probability_batch(
-                formula, weight_maps, args.epsilon, args.delta,
-                args.seed)
+            sampler, relative = _resolve_engine(args)
+            engine = ENGINE_LABELS[sampler]
+            estimates = estimate_batch_with(
+                sampler, formula, weight_maps, args.epsilon,
+                args.delta, args.seed, relative_error=relative)
             values = [estimate.estimate for estimate in estimates]
     if engine == "exact":
         # Compiled (under budget if one was given, so the circuit is
@@ -347,12 +381,19 @@ def cmd_sweep(args) -> int:
     # claim a numeric mode that did not run.
     print(f"block:   B_{args.p}(u, v), {k}-vector endpoint sweep"
           f"{' (float fast path)' if args.float and engine == 'exact' else ''}")
-    print(f"engine:  {engine}"
-          + (f" (compilation exceeded {args.budget} nodes; "
-             f"+/- {estimates[0].epsilon} at confidence "
-             f"{1 - Fraction(estimates[0].delta)}, "
-             f"{estimates[0].samples} samples per vector)"
-             if estimates else ""))
+    if estimates:
+        samples = [estimate.samples for estimate in estimates]
+        per_vector = (f"{samples[0]} samples per vector"
+                      if len(set(samples)) == 1 else
+                      f"{min(samples)}-{max(samples)} samples per "
+                      f"vector (variance-adaptive early stopping)")
+        print(f"engine:  {engine} (compilation exceeded "
+              f"{args.budget} nodes; "
+              f"+/- {float(max(e.epsilon for e in estimates)):.6g} "
+              f"at confidence {1 - Fraction(estimates[0].delta)}, "
+              f"{per_vector})")
+    else:
+        print(f"engine:  {engine}")
     print(f"{'w(R(u))':>10s} {'w(T(v))':>10s}  Pr(Q)")
     for weights, value in zip(weight_maps, values):
         shown = value if args.float and engine == "exact" else str(value)
@@ -438,6 +479,10 @@ def cmd_query(args) -> int:
     if args.op in ("evaluate", "evaluate_batch", "sweep", "estimate"):
         params["epsilon"] = str(args.epsilon)
         params["delta"] = str(args.delta)
+        if args.engine != "hoeffding":
+            params["estimator"] = args.engine
+        if args.relative_error is not None:
+            params["relative_error"] = str(args.relative_error)
     if args.op in ("evaluate", "evaluate_batch", "sweep", "estimate",
                    "sample"):
         params["seed"] = args.seed
@@ -516,6 +561,18 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default {DEFAULT_DELTA})")
         p.add_argument("--seed", type=int, default=0,
                        help="random seed of the estimator (default 0)")
+        p.add_argument("--engine",
+                       choices=("hoeffding", "adaptive", "importance"),
+                       default="hoeffding",
+                       help="sampler: hoeffding (fixed-n), adaptive "
+                            "(empirical-Bernstein early stopping), or "
+                            "importance (self-normalized tilted "
+                            "sampling for small probabilities)")
+        p.add_argument("--relative-error", type=Fraction, default=None,
+                       metavar="REL", dest="relative_error",
+                       help="target a relative (not additive) "
+                            "half-width; implies --engine adaptive "
+                            "unless one is named")
 
     p_compile = sub.add_parser(
         "compile",

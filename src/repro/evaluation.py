@@ -35,12 +35,15 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
+from repro.booleans.adaptive import (
+    ENGINE_LABELS,
+    estimate_batch_with,
+    estimate_with,
+)
 from repro.booleans.approximate import (
     DEFAULT_DELTA,
     DEFAULT_EPSILON,
     ProbabilityEstimate,
-    estimate_probability,
-    estimate_probability_batch,
 )
 from repro.booleans.circuit import Circuit, CompilationBudgetExceeded
 from repro.booleans.cnf import CNF
@@ -59,7 +62,13 @@ from repro.tid.wmc import (
 )
 
 METHODS = ("auto", "lifted", "wmc", "compiled", "shannon", "brute",
-           "estimate", "cross-check")
+           "estimate", "adaptive", "importance", "cross-check")
+
+#: Methods answered by a sampler rather than an exact engine; the
+#: result's ``method`` records the sampler that actually ran
+#: ("estimate" = fixed-n Hoeffding, "adaptive" = sequential
+#: empirical-Bernstein, "importance" = self-normalized tilted).
+ESTIMATE_METHODS = ("estimate", "adaptive", "importance")
 
 
 @dataclass(frozen=True)
@@ -96,9 +105,11 @@ class EvaluationResult:
     @property
     def engine(self) -> str:
         """Which engine class answered, mirroring ``AutoProbability``:
-        ``"estimate"`` for the Monte-Carlo path, ``"exact"`` for every
-        other method (they all compute the true rational)."""
-        return "estimate" if self.method == "estimate" else "exact"
+        the sampler's label (``"estimate"``, ``"adaptive"``,
+        ``"importance"``) for the Monte-Carlo paths, ``"exact"`` for
+        every other method (they all compute the true rational)."""
+        return self.method if self.method in ESTIMATE_METHODS \
+            else "exact"
 
     def as_dict(self) -> dict:
         """A JSON-safe rendering (exact value as a ``"num/den"``
@@ -127,15 +138,23 @@ def _shannon_query_probability(query: Query, tid: TID) -> Fraction:
 def evaluate(query: Query, tid: TID, method: str = "auto", *,
              budget_nodes: int | None = DEFAULT_BUDGET_NODES,
              epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
-             rng=None) -> EvaluationResult:
+             rng=None, estimator: str = "hoeffding",
+             relative_error=None, planner=None) -> EvaluationResult:
     """Pr(Q) over the TID, routed per the dichotomy.
 
     ``budget_nodes``/``epsilon``/``delta``/``rng`` govern the
-    ``"auto"`` and ``"estimate"`` methods: ``auto`` answers exactly
-    (method ``"lifted"`` or ``"wmc"``) whenever it can, and falls back
-    to the estimator — recording ``"estimate"`` and the Hoeffding
+    ``"auto"`` and sampled methods: ``auto`` answers exactly (method
+    ``"lifted"`` or ``"wmc"``) whenever it can, and falls back to the
+    estimator — recording the sampler's label and its confidence
     interval on the result — only when exact compilation of an unsafe
-    query's lineage exceeds the node budget.
+    query's lineage exceeds the node budget.  ``estimator`` picks the
+    fallback sampler (``"hoeffding"``/``"adaptive"``/``"importance"``)
+    and ``relative_error`` switches the sequential samplers to a
+    relative-width target; methods ``"adaptive"``/``"importance"``
+    force the named sampler directly, as ``"estimate"`` forces the
+    ``estimator`` (default fixed-n Hoeffding).  ``planner`` is an
+    optional ``repro.booleans.adaptive.BudgetPlanner`` choosing the
+    compilation budget from the observed circuit-size trajectory.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
@@ -149,24 +168,29 @@ def evaluate(query: Query, tid: TID, method: str = "auto", *,
         answer = cnf_probability_auto(
             lineage(query, tid), tid.probability,
             budget_nodes=budget_nodes, epsilon=epsilon, delta=delta,
-            rng=rng)
-        if answer.engine == "estimate":
-            return EvaluationResult(answer.value, "estimate", False,
+            rng=rng, estimator=estimator,
+            relative_error=relative_error, planner=planner)
+        if answer.engine != "exact":
+            return EvaluationResult(answer.value, answer.engine, False,
                                     answer.estimate)
         return EvaluationResult(answer.value, "wmc", False)
-    if method == "estimate":
+    if method in ESTIMATE_METHODS:
+        sampler = estimator if method == "estimate" else method
+        label = ENGINE_LABELS[sampler]
         if query.is_false():
             # No sampling needed: Pr is exactly 0, reported as a
             # degenerate zero-width interval so the documented
-            # invariant (method == "estimate" implies a populated
+            # invariant (a sampled method implies a populated
             # estimate) holds.
             zero = Fraction(0)
             return EvaluationResult(
-                zero, "estimate", safe,
-                ProbabilityEstimate(zero, zero, zero, 0, 0))
-        estimate = estimate_probability(
-            lineage(query, tid), tid.probability, epsilon, delta, rng)
-        return EvaluationResult(estimate.estimate, "estimate", safe,
+                zero, label, safe,
+                ProbabilityEstimate(zero, zero, zero, 0, 0,
+                                    samples_used=0))
+        estimate = estimate_with(
+            sampler, lineage(query, tid), tid.probability, epsilon,
+            delta, rng, relative_error=relative_error)
+        return EvaluationResult(estimate.estimate, label, safe,
                                 estimate)
     if method == "lifted":
         return EvaluationResult(lifted_probability(query, tid),
@@ -207,7 +231,9 @@ def evaluate_batch(query: Query, tids: Iterable[TID],
                    method: str = "auto", *,
                    budget_nodes: int | None = DEFAULT_BUDGET_NODES,
                    epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
-                   rng=None) -> list[EvaluationResult]:
+                   rng=None, estimator: str = "hoeffding",
+                   relative_error=None,
+                   planner=None) -> list[EvaluationResult]:
     """Pr(Q) over many databases, compiling each distinct lineage once.
 
     Databases that ground to the same lineage CNF (same domains and
@@ -219,7 +245,9 @@ def evaluate_batch(query: Query, tids: Iterable[TID],
     affecting the others.
     """
     return [evaluate(query, tid, method, budget_nodes=budget_nodes,
-                     epsilon=epsilon, delta=delta, rng=rng)
+                     epsilon=epsilon, delta=delta, rng=rng,
+                     estimator=estimator, relative_error=relative_error,
+                     planner=planner)
             for tid in tids]
 
 
@@ -276,7 +304,8 @@ def probability_sweep(formula: CNF,
                       cross_check: int = 2, *,
                       budget_nodes: int | None = None,
                       epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
-                      rng=None) -> list:
+                      rng=None, estimator: str = "hoeffding",
+                      relative_error=None, planner=None) -> list:
     """Pr(F) under many weight vectors: compile once, sweep batched.
 
     This is the primitive behind the reduction pipelines' probability
@@ -294,22 +323,28 @@ def probability_sweep(formula: CNF,
     large grids across worker processes (mapping/None weight maps
     only — callables do not pickle).
 
-    Passing ``budget_nodes`` switches the sweep to the ``auto``
-    policy: if exact compilation exceeds the budget, each weight
-    vector is answered by a Hoeffding (epsilon, delta) estimate
-    instead (one sampling run per vector, a shared seeded ``rng``).
-    The return stays a plain value list either way; callers that need
-    the engine/interval provenance should use
-    ``repro.tid.wmc.probability_batch_auto`` directly.
+    Passing ``budget_nodes`` (or a ``planner``, which picks the budget
+    from the observed circuit-size trajectory) switches the sweep to
+    the ``auto`` policy: if exact compilation exceeds the budget, each
+    weight vector is answered by an (epsilon, delta) estimate from the
+    chosen ``estimator`` instead (one sampling run per vector, a
+    shared seeded ``rng``; ``"adaptive"``/``"importance"`` stop each
+    vector as early as its variance allows, and ``relative_error``
+    switches them to a relative-width target).  The return stays a
+    plain value list either way; callers that need the engine/interval
+    provenance should use ``repro.tid.wmc.probability_batch_auto``
+    directly.
     """
+    if planner is not None:
+        budget_nodes = planner.budget_for(formula, budget_nodes)
     if budget_nodes is not None:
         try:
             compiled(formula, budget_nodes)
         except CompilationBudgetExceeded:
             values = [estimate.estimate for estimate in
-                      estimate_probability_batch(
-                          formula, weight_maps, epsilon, delta, rng,
-                          default)]
+                      estimate_batch_with(
+                          estimator, formula, weight_maps, epsilon,
+                          delta, rng, default, relative_error)]
             # Keep the documented value type of the requested numeric
             # mode even on the degraded engine.
             return [float(v) for v in values] \
@@ -318,6 +353,11 @@ def probability_sweep(formula: CNF,
         # below — batched pass, float cross-check, worker processes —
         # proceeds without recompiling.
     circuit = compiled(formula)
+    if planner is not None and len(formula):
+        # Every exact compile feeds the planner's trajectory — also
+        # with no fallback budget, where the planner is still warming
+        # up and budget_for returned None.
+        planner.observe(len(formula), circuit.size)
     weight_maps = list(weight_maps)
     if processes and processes > 1 and len(weight_maps) > 1:
         if any(callable(w) for w in weight_maps):

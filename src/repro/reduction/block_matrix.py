@@ -26,6 +26,7 @@ from repro.algebra.eigen2x2 import (
     spectral_decomposition_2x2,
 )
 from repro.algebra.matrices import Matrix
+from repro.booleans.adaptive import resolve_sweep_method
 from repro.booleans.approximate import DEFAULT_DELTA, DEFAULT_EPSILON
 from repro.core.queries import Query
 from repro.reduction.blocks import path_block
@@ -44,7 +45,8 @@ def z_matrix_direct(query: Query, p: int, *,
                     method: str = "exact",
                     budget_nodes: int | None = DEFAULT_BUDGET_NODES,
                     epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
-                    rng=None) -> Matrix:
+                    rng=None, estimator: str = "hoeffding",
+                    relative_error=None, planner=None) -> Matrix:
     """A(p) computed honestly: ground B_p(u, v), compile the lineage
     once, and sweep the endpoint conditioning grid over the circuit.
 
@@ -55,10 +57,12 @@ def z_matrix_direct(query: Query, p: int, *,
     and re-running WMC per entry.
 
     ``method="auto"`` runs the sweep under the compilation budget and
-    degrades each entry to a Hoeffding estimate when the lineage blows
-    up (``budget_nodes``/``epsilon``/``delta``/``rng`` as in
-    ``repro.tid.wmc.probability_batch_auto``); the default is the
-    unconditionally exact path.
+    degrades each entry to an (epsilon, delta) estimate when the
+    lineage blows up (``budget_nodes``/``epsilon``/``delta``/``rng``/
+    ``estimator``/``relative_error``/``planner`` as in
+    ``repro.tid.wmc.probability_batch_auto``); ``method="adaptive"``
+    is ``auto`` with the sequential empirical-Bernstein sampler as the
+    degraded engine.  The default is the unconditionally exact path.
     """
     tid = path_block(query, p)
     formula = lineage(query, tid)
@@ -68,16 +72,16 @@ def z_matrix_direct(query: Query, p: int, *,
         (lambda t, pinned={r_u: Fraction(a), r_v: Fraction(b)}:
             pinned.get(t, base(t)))
         for a in (0, 1) for b in (0, 1)]
+    method, estimator = resolve_sweep_method(method, estimator)
     if method == "auto":
         answer = probability_batch_auto(
             formula, grid, budget_nodes=budget_nodes,
-            epsilon=epsilon, delta=delta, rng=rng)
+            epsilon=epsilon, delta=delta, rng=rng,
+            estimator=estimator, relative_error=relative_error,
+            planner=planner)
         z00, z01, z10, z11 = answer.values
-    elif method == "exact":
-        z00, z01, z10, z11 = compiled(formula).probability_batch(grid)
     else:
-        raise ValueError(
-            f"method must be 'exact' or 'auto', got {method!r}")
+        z00, z01, z10, z11 = compiled(formula).probability_batch(grid)
     return Matrix([[z00, z01], [z10, z11]])
 
 

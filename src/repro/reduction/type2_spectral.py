@@ -32,6 +32,7 @@ from repro.core.queries import Query
 from repro.core.safety import is_safe
 from repro.reduction.type2_blocks import type2_block
 from repro.reduction.type2_lattice import TypeIIStructure
+from repro.booleans.adaptive import resolve_sweep_method
 from repro.booleans.approximate import DEFAULT_DELTA, DEFAULT_EPSILON
 from repro.tid.database import s_tuple
 from repro.tid.lineage import lineage
@@ -72,7 +73,8 @@ def link_matrix_type2(query: Query, symbol: str,
                       method: str = "exact",
                       budget_nodes: int | None = DEFAULT_BUDGET_NODES,
                       epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
-                      rng=None) -> Matrix:
+                      rng=None, estimator: str = "hoeffding",
+                      relative_error=None, planner=None) -> Matrix:
     """The 2x2 matrix z for one zig-zag step (p = 1).
 
     Conditioning S_0 = S(r0, t0) and S_1 = S(r1, t1) on (a, b) isolates
@@ -84,12 +86,17 @@ def link_matrix_type2(query: Query, symbol: str,
     verification, the assignment sweeps) compile each factor only once.
 
     ``method="auto"`` evaluates each factor under the compilation
-    budget, degrading to a Hoeffding estimate past it; the default is
-    unconditionally exact.
+    budget, degrading to an (epsilon, delta) estimate from the chosen
+    ``estimator`` past it; ``method="adaptive"`` is ``auto`` with the
+    sequential empirical-Bernstein sampler.  A ``planner``
+    (``repro.booleans.adaptive.BudgetPlanner``) picks each factor's
+    budget from the observed circuit-size trajectory — this is where
+    budget-aware planning pays: the four conditioned middle factors of
+    a link matrix differ in size, and a trajectory-planned budget
+    aborts a hopeless factor early without strangling its siblings.
+    The default is unconditionally exact.
     """
-    if method not in ("exact", "auto"):
-        raise ValueError(
-            f"method must be 'exact' or 'auto', got {method!r}")
+    method, estimator = resolve_sweep_method(method, estimator)
     block = type2_block(query, p=1, tag=tag)
     if assignment:
         for token, value in assignment.items():
@@ -110,7 +117,9 @@ def link_matrix_type2(query: Query, symbol: str,
                 row.append(cnf_probability_auto(
                     factor, block.probability,
                     budget_nodes=budget_nodes, epsilon=epsilon,
-                    delta=delta, rng=rng).value)
+                    delta=delta, rng=rng, estimator=estimator,
+                    relative_error=relative_error,
+                    planner=planner).value)
             else:
                 row.append(cnf_probability(factor, block.probability))
         rows.append(row)
@@ -122,7 +131,9 @@ def link_matrix_sweep(query: Query, symbol: str,
                       method: str = "exact",
                       budget_nodes: int | None = DEFAULT_BUDGET_NODES,
                       epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
-                      rng=None) -> list[Matrix]:
+                      rng=None, estimator: str = "hoeffding",
+                      relative_error=None,
+                      planner=None) -> list[Matrix]:
     """The link matrices z(theta) for a sweep of theta-assignments.
 
     For assignments with *interior* values (0 < p < 1) the block
@@ -136,12 +147,13 @@ def link_matrix_sweep(query: Query, symbol: str,
     bit-identical to per-assignment extraction either way.
 
     ``method="auto"`` runs each factor under the compilation budget
-    and degrades its sweep lanes to Hoeffding estimates past it; the
-    default is unconditionally exact.
+    and degrades its sweep lanes to (epsilon, delta) estimates from
+    the chosen ``estimator`` past it; ``method="adaptive"`` is
+    ``auto`` with the sequential empirical-Bernstein sampler, and a
+    ``planner`` picks each factor's budget from the observed
+    circuit-size trajectory.  The default is unconditionally exact.
     """
-    if method not in ("exact", "auto"):
-        raise ValueError(
-            f"method must be 'exact' or 'auto', got {method!r}")
+    method, estimator = resolve_sweep_method(method, estimator)
     assignments = [dict(theta) for theta in assignments]
     interior = all(
         0 < Fraction(value) < 1
@@ -150,7 +162,10 @@ def link_matrix_sweep(query: Query, symbol: str,
         return [link_matrix_type2(query, symbol, theta, tag,
                                   method=method,
                                   budget_nodes=budget_nodes,
-                                  epsilon=epsilon, delta=delta, rng=rng)
+                                  epsilon=epsilon, delta=delta, rng=rng,
+                                  estimator=estimator,
+                                  relative_error=relative_error,
+                                  planner=planner)
                 for theta in assignments]
 
     block = type2_block(query, p=1, tag=tag)
@@ -174,7 +189,10 @@ def link_matrix_sweep(query: Query, symbol: str,
             if method == "auto":
                 entries[int(a), int(b)] = probability_batch_auto(
                     factor, specs, budget_nodes=budget_nodes,
-                    epsilon=epsilon, delta=delta, rng=rng).values
+                    epsilon=epsilon, delta=delta, rng=rng,
+                    estimator=estimator,
+                    relative_error=relative_error,
+                    planner=planner).values
             else:
                 entries[int(a), int(b)] = \
                     compiled(factor).probability_batch(specs)

@@ -125,30 +125,44 @@ class ServiceClient:
 
     def evaluate(self, query: str, p: int = 4, method: str | None = None,
                  budget_nodes: int | None = None, epsilon=None,
-                 delta=None, seed: int | None = None) -> dict:
+                 delta=None, seed: int | None = None,
+                 estimator: str | None = None,
+                 relative_error=None) -> dict:
         return self.call("evaluate", query=query, p=p, method=method,
                          budget_nodes=budget_nodes, epsilon=epsilon,
-                         delta=delta, seed=seed)
+                         delta=delta, seed=seed, estimator=estimator,
+                         relative_error=relative_error)
 
     def evaluate_batch(self, query: str, ps, method: str | None = None,
                        budget_nodes: int | None = None, epsilon=None,
-                       delta=None, seed: int | None = None) -> dict:
+                       delta=None, seed: int | None = None,
+                       estimator: str | None = None,
+                       relative_error=None) -> dict:
         return self.call("evaluate_batch", query=query, ps=list(ps),
                          method=method, budget_nodes=budget_nodes,
-                         epsilon=epsilon, delta=delta, seed=seed)
+                         epsilon=epsilon, delta=delta, seed=seed,
+                         estimator=estimator,
+                         relative_error=relative_error)
 
     def sweep(self, query: str, p: int = 4, grid: int = 8,
               numeric: str | None = None,
               budget_nodes: int | None = None, epsilon=None,
-              delta=None, seed: int | None = None) -> dict:
+              delta=None, seed: int | None = None,
+              estimator: str | None = None,
+              relative_error=None) -> dict:
         return self.call("sweep", query=query, p=p, grid=grid,
                          numeric=numeric, budget_nodes=budget_nodes,
-                         epsilon=epsilon, delta=delta, seed=seed)
+                         epsilon=epsilon, delta=delta, seed=seed,
+                         estimator=estimator,
+                         relative_error=relative_error)
 
     def estimate(self, query: str, p: int = 4, epsilon=None,
-                 delta=None, seed: int | None = None) -> dict:
+                 delta=None, seed: int | None = None,
+                 estimator: str | None = None,
+                 relative_error=None) -> dict:
         return self.call("estimate", query=query, p=p, epsilon=epsilon,
-                         delta=delta, seed=seed)
+                         delta=delta, seed=seed, estimator=estimator,
+                         relative_error=relative_error)
 
     def sample(self, query: str, p: int = 4, k: int = 1,
                seed: int | None = None,

@@ -189,6 +189,59 @@ def decode_fraction(obj, field: str = "value") -> Fraction:
         f"got {type(obj).__name__}")
 
 
+def decode_estimate(obj) -> "ProbabilityEstimate":
+    """The inverse of ``ProbabilityEstimate.as_dict``: reconstruct the
+    estimate with every rational *exact*.
+
+    The PR 4 codec only type-tagged the original fields; the adaptive
+    estimators added ``method``, ``relative_error``, ``samples_used``,
+    and (for the self-normalized importance sampler) ``center``, and a
+    client that re-serializes a decoded estimate must get the same
+    wire object back — ``decode_estimate(d).as_dict() == d`` — with
+    ``relative_error``/``center`` as exact Fractions, never floats.
+    Derived fields (``low``/``high``/``float``) are recomputed, which
+    doubles as a consistency check on the sender.
+    """
+    from repro.booleans.approximate import ProbabilityEstimate
+
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"estimate must be an object, got {type(obj).__name__}")
+    try:
+        samples = obj["samples"]
+        successes = obj["successes"]
+        relative = obj.get("relative_error")
+        center = obj.get("center")
+        samples_used = obj.get("samples_used")
+        for field, value, optional in (("samples", samples, False),
+                                       ("successes", successes, False),
+                                       ("samples_used", samples_used,
+                                        True)):
+            if value is None and optional:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(
+                    "bad-request",
+                    f"estimate field {field!r} must be an integer")
+        return ProbabilityEstimate(
+            estimate=decode_fraction(obj["estimate"], "estimate"),
+            epsilon=decode_fraction(obj["epsilon"], "epsilon"),
+            delta=decode_fraction(obj["delta"], "delta"),
+            samples=samples,
+            successes=successes,
+            method=obj.get("method", "hoeffding"),
+            relative_error=(None if relative is None else
+                            decode_fraction(relative, "relative_error")),
+            samples_used=samples_used,
+            center=(None if center is None else
+                    decode_fraction(center, "center")))
+    except KeyError as error:
+        raise ProtocolError(
+            "bad-request",
+            f"estimate is missing field {error}") from None
+
+
 def encode_world(world: dict) -> list:
     """A ``{var: bool}`` world as ``[[token, bool], ...]``, sorted by
     token repr so the wire form is deterministic across hash seeds."""

@@ -40,10 +40,15 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.booleans.adaptive import (
+    ENGINE_LABELS,
+    ESTIMATORS,
+    estimate_with,
+)
 from repro.booleans.approximate import (
     DEFAULT_DELTA,
     DEFAULT_EPSILON,
-    estimate_probability,
+    hoeffding_sample_count,
 )
 from repro.booleans.circuit import CompilationBudgetExceeded
 from repro.booleans.cnf import CNF
@@ -77,7 +82,8 @@ from repro.tid.lineage import lineage
 #: servable.
 EVAL_METHODS = METHODS
 
-_ESTIMATOR_FIELDS = ("budget_nodes", "epsilon", "delta", "seed")
+_ESTIMATOR_FIELDS = ("budget_nodes", "epsilon", "delta", "seed",
+                     "estimator", "relative_error")
 
 
 @dataclass(frozen=True)
@@ -153,6 +159,14 @@ class ReproServer:
         self._requests = 0
         self._errors = 0
         self._op_counts: dict[str, int] = {}
+        #: Adaptive-tier observability: requests answered by a
+        #: sequential sampler, individual estimates that stopped
+        #: before the fixed-n Hoeffding count, and the samples that
+        #: early stopping saved (sum + estimate count -> mean).
+        self._adaptive_requests = 0
+        self._early_stops = 0
+        self._adaptive_estimates = 0
+        self._samples_saved = 0
         self._workload_lock = threading.Lock()
         self._workloads: OrderedDict = OrderedDict()
         self._workload_cache_size = workload_cache_size
@@ -320,7 +334,41 @@ class ReproServer:
             }
         service.update(self.pool.stats())
         service.update(self.coalescer.stats())
+        service.update(self._adaptive_stats())
         return {"cache": wmc.cache_info(), "service": service}
+
+    def _note_estimates(self, estimates, epsilon, delta) -> None:
+        """Update the adaptive-tier counters after a request answered
+        with sequential-sampler estimates.  Savings are measured
+        against one fixed baseline — the unit-range Hoeffding count at
+        the request's (epsilon, delta), i.e. what the default engine
+        would have drawn — and clamped at zero: the importance
+        sampler's own worst case is ``weight_cap^2`` times larger, so
+        its runs can legitimately exceed the baseline without being
+        early-stop failures."""
+        sequential = [e for e in estimates
+                      if e is not None and e.method != "hoeffding"
+                      and e.samples > 0]
+        if not sequential:
+            return
+        worst = hoeffding_sample_count(epsilon, delta)
+        with self._counter_lock:
+            self._adaptive_requests += 1
+            for estimate in sequential:
+                self._adaptive_estimates += 1
+                saved = worst - estimate.samples
+                if saved > 0:
+                    self._early_stops += 1
+                    self._samples_saved += saved
+
+    def _adaptive_stats(self) -> dict:
+        with self._counter_lock:
+            mean_saved = (round(self._samples_saved
+                                / self._adaptive_estimates, 2)
+                          if self._adaptive_estimates else 0.0)
+            return {"adaptive_requests": self._adaptive_requests,
+                    "early_stops": self._early_stops,
+                    "mean_samples_saved": mean_saved}
 
     def _op_compile(self, params: dict) -> dict:
         check_fields(params, ("query", "p", "budget_nodes"))
@@ -372,17 +420,33 @@ class ReproServer:
                                 default=DEFAULT_EPSILON)
         delta = take_fraction(params, "delta", default=DEFAULT_DELTA)
         seed = take_int(params, "seed", default=0)
-        return budget, epsilon, delta, seed
+        estimator = take_str(params, "estimator", default="hoeffding",
+                             choices=ESTIMATORS)
+        relative = take_fraction(params, "relative_error", default=None)
+        if relative is not None:
+            if relative <= 0:
+                raise ProtocolError(
+                    "bad-request",
+                    "param 'relative_error' must be positive")
+            if estimator == "hoeffding":
+                # The fixed-n estimator has no relative mode; a
+                # relative target implies the sequential sampler
+                # unless the client named one explicitly.
+                estimator = "adaptive"
+        return budget, epsilon, delta, seed, estimator, relative
 
     def _evaluate_one(self, workload: Workload, method: str,
-                      budget, epsilon, delta, seed) -> dict:
+                      budget, epsilon, delta, seed, estimator,
+                      relative) -> dict:
         if method in ("auto", "wmc", "compiled", "cross-check") \
                 and not workload.safe and not workload.query.is_false():
             self._prewarm(workload,
                           budget if method == "auto" else None)
         result = evaluate(workload.query, workload.tid, method,
                           budget_nodes=budget, epsilon=epsilon,
-                          delta=delta, rng=seed)
+                          delta=delta, rng=seed, estimator=estimator,
+                          relative_error=relative)
+        self._note_estimates([result.estimate], epsilon, delta)
         payload = result.as_dict()
         payload["p"] = workload.p
         payload["fingerprint"] = workload.fingerprint
@@ -393,9 +457,9 @@ class ReproServer:
                      + _ESTIMATOR_FIELDS)
         method = take_str(params, "method", default="auto",
                           choices=EVAL_METHODS)
-        budget, epsilon, delta, seed = self._estimator_knobs(params)
+        knobs = self._estimator_knobs(params)
         return self._evaluate_one(self._workload(params), method,
-                                  budget, epsilon, delta, seed)
+                                  *knobs)
 
     def _op_evaluate_batch(self, params: dict) -> dict:
         check_fields(params, ("query", "ps", "method")
@@ -403,12 +467,12 @@ class ReproServer:
         ps = take_int_list(params, "ps", minimum=1, max_items=256)
         method = take_str(params, "method", default="auto",
                           choices=EVAL_METHODS)
-        budget, epsilon, delta, seed = self._estimator_knobs(params)
+        knobs = self._estimator_knobs(params)
         text = take_str(params, "query")
         results = [
             self._evaluate_one(
                 self._workload({"query": text, "p": p}),
-                method, budget, epsilon, delta, seed)
+                method, *knobs)
             for p in ps]
         return {"results": results, "count": len(results)}
 
@@ -419,7 +483,8 @@ class ReproServer:
                      maximum=100_000)
         numeric = take_str(params, "numeric", default="exact",
                            choices=("exact", "float"))
-        budget, epsilon, delta, seed = self._estimator_knobs(params)
+        budget, epsilon, delta, seed, estimator, relative = \
+            self._estimator_knobs(params)
         workload = self._workload(params)
         r_u, t_v = r_tuple("u"), t_tuple("v")
         if not {r_u, t_v} & workload.formula.variables():
@@ -463,9 +528,11 @@ class ReproServer:
             sweep = wmc.probability_batch_auto(
                 workload.formula, weight_maps, budget_nodes=budget,
                 epsilon=epsilon, delta=delta, rng=seed,
-                numeric=numeric)
+                numeric=numeric, estimator=estimator,
+                relative_error=relative)
             values, engine, estimates = (sweep.values, sweep.engine,
                                          sweep.estimates)
+            self._note_estimates(estimates or [], epsilon, delta)
         result = {
             "fingerprint": workload.fingerprint,
             "engine": engine,
@@ -480,18 +547,20 @@ class ReproServer:
         return result
 
     def _op_estimate(self, params: dict) -> dict:
-        check_fields(params, ("query", "p", "epsilon", "delta", "seed"))
-        epsilon = take_fraction(params, "epsilon",
-                                default=DEFAULT_EPSILON)
-        delta = take_fraction(params, "delta", default=DEFAULT_DELTA)
-        seed = take_int(params, "seed", default=0)
+        check_fields(params, ("query", "p", "epsilon", "delta", "seed",
+                              "estimator", "relative_error"))
+        # Same knob parsing as evaluate/sweep; the budget slot is
+        # inert here (check_fields already rejected budget_nodes).
+        _, epsilon, delta, seed, estimator, relative = \
+            self._estimator_knobs(params)
         workload = self._workload(params)
-        estimate = estimate_probability(
-            workload.formula, workload.tid.probability,
-            epsilon, delta, seed)
+        estimate = estimate_with(
+            estimator, workload.formula, workload.tid.probability,
+            epsilon, delta, seed, relative_error=relative)
+        self._note_estimates([estimate], epsilon, delta)
         return {
             "fingerprint": workload.fingerprint,
-            "engine": "estimate",
+            "engine": ENGINE_LABELS[estimator],
             "estimate": estimate.as_dict(),
         }
 

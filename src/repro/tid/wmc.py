@@ -36,13 +36,16 @@ from collections import OrderedDict
 from fractions import Fraction
 from typing import Mapping
 
+from repro.booleans.adaptive import (
+    ENGINE_LABELS,
+    estimate_batch_with,
+    estimate_with,
+)
 from repro.booleans.approximate import (
     AutoProbability,
     AutoSweep,
     DEFAULT_DELTA,
     DEFAULT_EPSILON,
-    estimate_probability,
-    estimate_probability_batch,
 )
 from repro.booleans.circuit import (
     Circuit,
@@ -328,27 +331,60 @@ def cnf_probability(formula: CNF, prob: Mapping | None = None,
 # ----------------------------------------------------------------------
 # The budgeted "auto" policy: exact under budget, else estimate
 # ----------------------------------------------------------------------
+def _planned_budget(formula: CNF, budget_nodes, planner):
+    """Resolve the effective budget, via the planner when one is
+    given (``repro.booleans.adaptive.BudgetPlanner``)."""
+    if planner is None:
+        return budget_nodes
+    return planner.budget_for(formula, budget_nodes)
+
+
+def _observe(planner, formula: CNF, circuit: Circuit) -> None:
+    """Report a successful compilation back to the budget planner so
+    its circuit-size trajectory keeps learning online."""
+    if planner is not None and len(formula):
+        planner.observe(len(formula), circuit.size)
+
+
 def cnf_probability_auto(formula: CNF, prob: Mapping | None = None,
                          default: Fraction | None = None, *,
                          budget_nodes: int | None = DEFAULT_BUDGET_NODES,
                          epsilon=DEFAULT_EPSILON,
                          delta=DEFAULT_DELTA,
-                         rng=None) -> AutoProbability:
+                         rng=None,
+                         estimator: str = "hoeffding",
+                         relative_error=None,
+                         planner=None) -> AutoProbability:
     """Pr(F) by the ``auto`` policy: exact compilation while it stays
     under ``budget_nodes`` interned nodes, Monte-Carlo estimation with
-    a Hoeffding (epsilon, delta) guarantee once it blows past.
+    an (epsilon, delta) guarantee once it blows past.
+
+    ``estimator`` picks the past-budget sampler: ``"hoeffding"`` (the
+    fixed-n PR 3 estimator), ``"adaptive"`` (sequential
+    empirical-Bernstein, stops early on low-variance lineages), or
+    ``"importance"`` (self-normalized tilted sampling for small
+    probabilities); ``relative_error`` switches the sequential
+    samplers to a relative-width target.  ``planner`` — a
+    ``repro.booleans.adaptive.BudgetPlanner`` — overrides
+    ``budget_nodes`` with a per-formula plan from the observed
+    circuit-size trajectory, and successful compilations feed the
+    trajectory back.
 
     The returned ``AutoProbability`` records which engine answered
-    (``engine`` is ``"exact"`` or ``"estimate"``) and, on the estimate
-    path, the full ``ProbabilityEstimate`` with its interval.  A budget
-    of None never degrades (plain ``cnf_probability`` semantics).
+    (``engine`` is ``"exact"``, ``"estimate"``, ``"adaptive"``, or
+    ``"importance"``) and, on the sampled paths, the full
+    ``ProbabilityEstimate`` with its interval.  A budget of None never
+    degrades (plain ``cnf_probability`` semantics).
     """
+    budget_nodes = _planned_budget(formula, budget_nodes, planner)
     try:
         circuit = compiled(formula, budget_nodes)
     except CompilationBudgetExceeded:
-        estimate = estimate_probability(
-            formula, prob, epsilon, delta, rng, default)
-        return AutoProbability(estimate.estimate, "estimate", estimate)
+        estimate = estimate_with(estimator, formula, prob, epsilon,
+                                 delta, rng, default, relative_error)
+        return AutoProbability(estimate.estimate,
+                               ENGINE_LABELS[estimator], estimate)
+    _observe(planner, formula, circuit)
     return AutoProbability(circuit.probability(prob, default), "exact")
 
 
@@ -359,14 +395,20 @@ def probability_batch_auto(formula: CNF, weight_specs,
                            epsilon=DEFAULT_EPSILON,
                            delta=DEFAULT_DELTA,
                            rng=None,
-                           numeric: str = "exact") -> AutoSweep:
+                           numeric: str = "exact",
+                           estimator: str = "hoeffding",
+                           relative_error=None,
+                           planner=None) -> AutoSweep:
     """Many-weight-vector ``auto``: one budgeted compilation backing a
-    batched circuit pass, or — past budget — one Hoeffding estimate per
-    weight vector (the estimator re-samples per vector; a single shared
-    ``rng`` keeps the whole sweep reproducible).
+    batched circuit pass, or — past budget — one estimate per weight
+    vector via the chosen ``estimator`` (each vector re-samples; a
+    single shared ``rng`` keeps the whole sweep reproducible, and the
+    sequential samplers stop each vector as early as its variance
+    allows).  ``planner`` plans the budget per formula as in
+    ``cnf_probability_auto``.
 
-    This is the primitive behind the ``auto`` mode of the reduction
-    sweeps (``block_matrix.z_matrix_direct``,
+    This is the primitive behind the ``auto``/``adaptive`` modes of
+    the reduction sweeps (``block_matrix.z_matrix_direct``,
     ``type2_spectral.link_matrix_sweep``,
     ``TypeIIStructure.y_probability_sweep``) and of
     ``repro.evaluation.probability_sweep``.  ``numeric="float"``
@@ -374,15 +416,18 @@ def probability_batch_auto(formula: CNF, weight_specs,
     keeps the exact rationals).
     """
     weight_specs = list(weight_specs)
+    budget_nodes = _planned_budget(formula, budget_nodes, planner)
     try:
         circuit = compiled(formula, budget_nodes)
     except CompilationBudgetExceeded:
-        estimates = estimate_probability_batch(
-            formula, weight_specs, epsilon, delta, rng, default)
+        estimates = estimate_batch_with(
+            estimator, formula, weight_specs, epsilon, delta, rng,
+            default, relative_error)
         values = [e.estimate for e in estimates]
         if numeric == "float":
             values = [float(v) for v in values]
-        return AutoSweep(values, "estimate", estimates)
+        return AutoSweep(values, ENGINE_LABELS[estimator], estimates)
+    _observe(planner, formula, circuit)
     return AutoSweep(
         circuit.probability_batch(weight_specs, default, numeric),
         "exact")

@@ -181,6 +181,31 @@ class TestCommands:
                      "--seed", "9"]) == 0
         assert capsys.readouterr().out == first
 
+    def test_estimate_adaptive_engine(self, capsys):
+        # B_7's probability is ~0.0025, so the Bernoulli variance is
+        # tiny and the sequential estimator stops well short of the
+        # 18445-draw Hoeffding worst case.
+        assert main(["estimate", "(R|S1)(S1|T)", "--p", "7",
+                     "--engine", "adaptive", "--epsilon", "1/100",
+                     "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:     adaptive" in out
+        assert "early stop saved" in out
+        assert "inside the interval" in out
+
+    def test_estimate_relative_error_implies_adaptive(self, capsys):
+        assert main(["estimate", "(R|S1)(S1|T)", "--p", "2",
+                     "--epsilon", "1/50",
+                     "--relative-error", "1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:     adaptive" in out
+        assert "relative:" in out
+
+    def test_estimate_relative_error_must_be_positive(self):
+        with pytest.raises(SystemExit, match="relative-error"):
+            main(["estimate", "(R|S1)(S1|T)", "--p", "2",
+                  "--relative-error=-1/2"])
+
     def test_compile_budget_degrades_to_estimate(self, capsys):
         from repro.tid import wmc
 
@@ -201,6 +226,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "engine:  estimate" in out
         assert "budget aborts: 1" in out
+
+    def test_sweep_budget_adaptive_engine(self, capsys):
+        from repro.tid import wmc
+
+        wmc.clear_circuit_cache()
+        assert main(["sweep", "(R|S1)(S1|T)", "--p", "2",
+                     "--grid", "3", "--budget", "2",
+                     "--engine", "adaptive",
+                     "--epsilon", "1/10"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:  adaptive" in out
+        assert "samples per vector" in out
 
     def test_sweep_budget_exact_when_under(self, capsys):
         assert main(["sweep", "(R|S1)(S1|T)", "--p", "2",

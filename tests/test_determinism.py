@@ -55,12 +55,20 @@ print(json.dumps({
 """
 
 #: The sampling/estimation layer must be just as seed-independent: the
-#: estimator iterates variables in sorted-repr order and the sampler
+#: estimators iterate variables in sorted-repr order and the sampler
 #: walks the (already deterministic) node table, so fixed rng seeds
-#: give identical draws under any PYTHONHASHSEED.
+#: give identical draws under any PYTHONHASHSEED.  The adaptive
+#: estimator and importance sampler are held to the strongest form of
+#: the contract: their *entire* serialized state (``as_dict`` — point
+#: estimate, achieved interval, stopping checkpoint, weights drawn) is
+#: byte-identical across hash seeds.
 _PROBE_APPROX = """
 import json
 from fractions import Fraction
+from repro.booleans.adaptive import (
+    adaptive_estimate_probability,
+    importance_estimate_probability,
+)
 from repro.booleans.approximate import estimate_probability
 from repro.booleans.circuit import compile_cnf
 from repro.core.catalog import rst_query
@@ -73,12 +81,19 @@ formula = lineage(query, tid)
 circuit = compile_cnf(formula)
 estimate = estimate_probability(
     formula, tid.probability, Fraction(1, 10), Fraction(1, 10), rng=7)
+adaptive = adaptive_estimate_probability(
+    formula, tid.probability, Fraction(1, 10), Fraction(1, 10), rng=7)
+importance = importance_estimate_probability(
+    formula, tid.probability, Fraction(1, 10), Fraction(1, 10), rng=7,
+    relative_error=Fraction(1, 2))
 worlds = circuit.sample(tid.probability, k=5, rng=7)
 top = circuit.top_k_worlds(tid.probability, k=4)
 print(json.dumps({
     "estimate": str(estimate.estimate),
     "successes": estimate.successes,
     "samples": estimate.samples,
+    "adaptive": adaptive.as_dict(),
+    "importance": importance.as_dict(),
     "worlds": [sorted((repr(v), bool(b)) for v, b in w.items())
                for w in worlds],
     "top": [[str(p), sorted((repr(v), bool(b))

@@ -478,3 +478,119 @@ class TestCLI:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+class TestAdaptiveService:
+    """The adaptive estimation tier over live sockets: per-request
+    estimator overrides, recorded engines, the new stats counters, and
+    coalescing independence."""
+
+    def test_estimator_override_honored_and_recorded(self, client):
+        result = client.evaluate(QUERY, p=6, budget_nodes=2, seed=1,
+                                 estimator="adaptive")
+        assert result["engine"] == "adaptive"
+        assert result["method"] == "adaptive"
+        assert result["estimate"]["method"] == "bernstein"
+        assert result["estimate"]["samples_used"] == \
+            result["estimate"]["samples"] > 0
+        # The same request without the override still answers with the
+        # fixed-n estimator — the override is strictly per-request.
+        plain = client.evaluate(QUERY, p=6, budget_nodes=2, seed=1)
+        assert plain["engine"] == "estimate"
+        assert plain["estimate"]["method"] == "hoeffding"
+
+    def test_forced_adaptive_method_no_budget_needed(self, client):
+        exact = client.evaluate(QUERY, p=3, method="shannon")
+        result = client.evaluate(QUERY, p=3, method="adaptive", seed=7)
+        assert result["engine"] == "adaptive"
+        low, high = (F(result["estimate"]["low"]),
+                     F(result["estimate"]["high"]))
+        assert low <= F(exact["value"]) <= high
+
+    def test_relative_error_implies_sequential_sampler(self, client):
+        result = client.estimate(QUERY, p=3, epsilon="1/100",
+                                 relative_error="1/2", seed=2)
+        assert result["engine"] == "adaptive"
+        assert result["estimate"]["relative_error"] is not None
+        assert F(result["estimate"]["relative_error"]) <= F(1, 2)
+
+    def test_adaptive_stats_counters_increment(self, client):
+        before = client.stats()["service"]
+        # Forced-adaptive at a tight epsilon on a low-variance lineage
+        # (Pr(B_7) ~ 0.0025, so p(1-p) is tiny) stops well before the
+        # fixed-n worst case -> an early stop with samples saved.
+        result = client.evaluate(QUERY, p=7, method="adaptive",
+                                 epsilon="1/100", seed=3)
+        worst = 18445  # hoeffding_sample_count(1/100, 1/20)
+        assert result["estimate"]["samples"] < worst
+        after = client.stats()["service"]
+        assert after["adaptive_requests"] == \
+            before["adaptive_requests"] + 1
+        assert after["early_stops"] == before["early_stops"] + 1
+        assert after["mean_samples_saved"] > 0
+        # The fixed-n estimator never moves the adaptive counters.
+        client.evaluate(QUERY, p=2, method="estimate", seed=3)
+        final = client.stats()["service"]
+        assert final["adaptive_requests"] == after["adaptive_requests"]
+
+    def test_sweep_estimator_override_with_estimates(self, client):
+        result = client.sweep(QUERY, p=6, grid=3, budget_nodes=2,
+                              seed=3, estimator="adaptive")
+        assert result["engine"] == "adaptive"
+        assert len(result["estimates"]) == 3
+        assert all(e["method"] == "bernstein"
+                   for e in result["estimates"])
+        assert all(e["samples_used"] == e["samples"] > 0
+                   for e in result["estimates"])
+
+    def test_adaptive_sweeps_independent_of_coalescing_peers(self):
+        """Adaptive results never depend on which concurrent requests
+        they were batched with: a seeded adaptive sweep is identical
+        whether it raced N copies of itself through the coalescer or
+        ran alone on a quiet server."""
+        n = 3
+        kwargs = dict(p=6, grid=3, budget_nodes=2, seed=5,
+                      estimator="adaptive")
+        results = []
+        with ReproServer(port=0, window=0.05) as server:
+            barrier = threading.Barrier(n)
+
+            def hit():
+                with ServiceClient(*server.address) as c:
+                    barrier.wait()
+                    results.append(c.sweep(QUERY, **kwargs))
+
+            threads = [threading.Thread(target=hit) for _ in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(*server.address) as c:
+                solo = c.sweep(QUERY, **kwargs)
+        assert len(results) == n
+        assert all(r["engine"] == "adaptive" for r in results)
+        assert all(r["values"] == solo["values"] for r in results)
+        assert all(r["estimates"] == solo["estimates"]
+                   for r in results)
+
+    def test_estimate_round_trips_through_the_codec(self, client):
+        """What the server sends is exactly what a decoded estimate
+        re-serializes to — exact Fractions preserved for the new
+        fields (the PR 4 codec had no decoder at all)."""
+        from repro.service.protocol import decode_estimate
+
+        result = client.evaluate(QUERY, p=6, budget_nodes=2, seed=1,
+                                 estimator="importance")
+        wire = result["estimate"]
+        decoded = decode_estimate(wire)
+        assert decoded.as_dict() == wire
+        assert type(decoded.estimate) is F
+        assert decoded.center is None or type(decoded.center) is F
+
+    def test_bad_estimator_rejected(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate(QUERY, p=4, estimator="magic")
+        assert excinfo.value.code == "bad-request"
+        with pytest.raises(ServiceError) as excinfo:
+            client.estimate(QUERY, p=4, relative_error="0")
+        assert excinfo.value.code == "bad-request"

@@ -232,3 +232,89 @@ class TestValidators:
 
     def test_request_size_cap_is_sane(self):
         assert MAX_REQUEST_BYTES >= 65536
+
+
+class TestEstimateCodec:
+    """``ProbabilityEstimate.as_dict`` -> ``decode_estimate`` must be
+    the identity on the wire shape, with the adaptive tier's new
+    fields (``relative_error``/``samples_used``/``center``) preserved
+    as exact Fractions — the PR 4 codec only type-tagged the original
+    fields and had no decoder at all."""
+
+    def examples(self):
+        from repro.booleans.approximate import ProbabilityEstimate
+
+        hoeffding = ProbabilityEstimate(
+            F(369, 738), F(1, 20), F(1, 20), 738, 369)
+        bernstein = ProbabilityEstimate(
+            F(4093, 4096), F(133, 19166), F(1, 20), 4096, 4093,
+            method="bernstein", relative_error=F(133, 19033),
+            samples_used=4096)
+        importance = ProbabilityEstimate(
+            F(1, 64), F(7, 1536), F(1, 10), 2048, 31,
+            method="importance", relative_error=F(7, 17),
+            samples_used=2048, center=F(33, 2048))
+        return hoeffding, bernstein, importance
+
+    def test_round_trip_is_identity_on_the_wire(self):
+        from repro.service.protocol import decode_estimate
+
+        for estimate in self.examples():
+            wire = json.loads(dump_line(estimate.as_dict()))
+            decoded = decode_estimate(wire)
+            assert decoded == estimate
+            assert decoded.as_dict() == estimate.as_dict()
+
+    def test_new_fields_stay_exact_fractions(self):
+        from repro.service.protocol import decode_estimate
+
+        _, bernstein, importance = self.examples()
+        decoded = decode_estimate(bernstein.as_dict())
+        assert type(decoded.relative_error) is F
+        assert decoded.relative_error == F(133, 19033)
+        assert decoded.samples_used == 4096
+        decoded = decode_estimate(importance.as_dict())
+        assert type(decoded.center) is F
+        assert decoded.center == F(33, 2048)
+        # low/high derive from the *center* for self-normalized
+        # estimates; the decode must reproduce that too.
+        assert decoded.low == importance.low
+        assert decoded.high == importance.high
+
+    def test_legacy_wire_shape_still_decodes(self):
+        """A PR 3/4-era estimate dict (no method/relative_error/
+        samples_used keys) decodes with the defaults."""
+        from repro.service.protocol import decode_estimate
+
+        wire = {"estimate": "1/2", "epsilon": "1/20", "delta": "1/20",
+                "samples": 738, "successes": 369}
+        decoded = decode_estimate(wire)
+        assert decoded.method == "hoeffding"
+        assert decoded.relative_error is None
+        assert decoded.samples_used is None
+        assert decoded.center is None
+
+    def test_malformed_estimates_rejected(self):
+        from repro.service.protocol import decode_estimate
+
+        with pytest.raises(ProtocolError, match="object"):
+            decode_estimate([1, 2, 3])
+        with pytest.raises(ProtocolError, match="missing"):
+            decode_estimate({"estimate": "1/2"})
+        good = self.examples()[0].as_dict()
+        for field in ("samples", "successes", "samples_used"):
+            bad = dict(good)
+            bad[field] = True
+            with pytest.raises(ProtocolError, match="integer"):
+                decode_estimate(bad)
+        # Only samples_used is optional; null for the required counts
+        # must be rejected, not smuggled into arithmetic downstream.
+        for field in ("samples", "successes"):
+            bad = dict(good)
+            bad[field] = None
+            with pytest.raises(ProtocolError, match="integer"):
+                decode_estimate(bad)
+        bad = dict(good)
+        bad["relative_error"] = "not-a-fraction"
+        with pytest.raises(ProtocolError, match="relative_error"):
+            decode_estimate(bad)
