@@ -1,0 +1,272 @@
+"""Flat-tape float lanes vs the node-graph float fast path.
+
+Shape expectations: on the block-matrix theta-screening family (k
+weight lanes over one path-block lineage, each lane pinning a couple
+of tuple marginals on a shared base — the ``y_probability_sweep`` /
+``link_matrix_sweep`` grid shape) the tape float kernel must beat the
+node interpreter's float fast path by **>= 10x** when numpy is
+importable: the node walk pays a Python-level lookup, conversion, and
+dispatch per node per lane, while the tape pays one base column plus
+the overrides and one vector operation per instruction.  The exact
+tape kernel must stay *bit-identical* to the node interpreter, and the
+tape's serialized bytes must not depend on ``PYTHONHASHSEED``.
+
+Runable two ways:
+
+* ``pytest benchmarks/bench_tape.py`` — pytest-benchmark timings;
+* ``python benchmarks/bench_tape.py [--quick]`` — a self-contained
+  smoke run (CI uses ``--quick``) that exits non-zero if the tape
+  loses its margin, drifts from the exact values, or serializes
+  differently under two hash seeds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from fractions import Fraction
+from pathlib import Path
+
+import _bench_io
+
+from repro.booleans.circuit import WeightOverlay, compile_cnf
+from repro.booleans import tape as tape_module
+from repro.core import catalog
+from repro.reduction.blocks import path_block
+from repro.tid.lineage import lineage
+
+F = Fraction
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: The acceptance floor for tape-float over node-float (numpy kernel;
+#: the stdlib fallback kernel only has to *win*, not rout).
+SPEEDUP_GATE = 10.0
+
+
+def theta_workload(p=8, k=256):
+    """The block-matrix theta-screening family: k weight lanes over
+    one path-block lineage, lane j pinning two tuple marginals to
+    lane-specific values on the shared block base — the sweep shape
+    ``TypeIIStructure.y_probability_sweep`` and ``link_matrix_sweep``
+    feed to ``probability_batch``.
+
+    Returns the compiled circuit plus the same lanes in two spellings:
+    closures over ``(pinned, base)`` — the shape the sweeps passed to
+    the node interpreter before the tape engine existed — and
+    ``WeightOverlay`` specs, the shape they pass now.
+    """
+    query = catalog.rst_query()
+    tid = path_block(query, p)
+    formula = lineage(query, tid)
+    circuit = compile_cnf(formula)
+    variables = sorted(circuit.variables(), key=repr)
+    n = len(variables)
+    base = tid.probability
+    overlays = [
+        {variables[(2 * j + t) % n]: F(1 + (j + t) % 97, 101)
+         for t in range(2)}
+        for j in range(k)]
+    closure_specs = [
+        (lambda tok, pinned=dict(o): pinned.get(tok, base(tok)))
+        for o in overlays]
+    overlay_specs = [WeightOverlay(base, o) for o in overlays]
+    return circuit, closure_specs, overlay_specs
+
+
+def run_node_float(circuit, specs):
+    return circuit.probability_batch(specs, numeric="float",
+                                     engine="node")
+
+
+def run_tape_float(circuit, specs):
+    return circuit.probability_batch(specs, numeric="float")
+
+
+def run_tape_exact(circuit, specs):
+    return circuit.probability_batch(specs, numeric="exact",
+                                     engine="tape")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_node_float_baseline(benchmark):
+    circuit, closure_specs, _ = theta_workload(p=8, k=32)
+    values = benchmark(run_node_float, circuit, closure_specs)
+    assert all(0 < v < 1 for v in values)
+
+
+def test_tape_float(benchmark):
+    circuit, closure_specs, overlay_specs = theta_workload(p=8, k=32)
+    values = benchmark(run_tape_float, circuit, overlay_specs)
+    exact = circuit.probability_batch(closure_specs)
+    assert all(abs(a - float(t)) < 1e-9 for a, t in zip(values, exact))
+
+
+def test_tape_exact(benchmark):
+    circuit, _, overlay_specs = theta_workload(p=8, k=32)
+    values = benchmark(run_tape_exact, circuit, overlay_specs)
+    assert values == circuit.probability_batch(overlay_specs,
+                                               engine="node")
+
+
+# ----------------------------------------------------------------------
+# Script / CI smoke mode
+# ----------------------------------------------------------------------
+def _best_of(fn, *args, repeats=3):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def check_tape_beats_node(p, k) -> tuple[bool, dict]:
+    """tape-float must beat node-float by ``SPEEDUP_GATE`` on the
+    theta family (numpy kernel; the fallback kernel must just win),
+    while agreeing with the exact values to 1e-9."""
+    circuit, closure_specs, overlay_specs = theta_workload(p=p, k=k)
+    start = time.perf_counter()
+    tape = tape_module.flatten_circuit(circuit)
+    flatten_ms = (time.perf_counter() - start) * 1e3
+    t_node, node_floats = _best_of(run_node_float, circuit,
+                                   closure_specs)
+    t_tape, tape_floats = _best_of(run_tape_float, circuit,
+                                   overlay_specs)
+    speedup = t_node / t_tape
+    have_numpy = tape_module._np is not None
+    record = {
+        "p": p, "k": k,
+        "instructions": tape.n_instructions,
+        "flatten_ms": round(flatten_ms, 2),
+        "node_float_ms": round(t_node * 1e3, 2),
+        "tape_float_ms": round(t_tape * 1e3, 2),
+        "speedup": round(speedup, 2),
+        "numpy": have_numpy,
+        "gate": SPEEDUP_GATE if have_numpy else 1.0,
+    }
+    exact = circuit.probability_batch(overlay_specs)
+    for label, floats in (("node", node_floats), ("tape", tape_floats)):
+        if any(abs(a - float(t)) > 1e-9 for a, t in zip(floats, exact)):
+            print(f"FLOAT DRIFT beyond 1e-9 in the {label} engine at "
+                  f"p={p} k={k}", file=sys.stderr)
+            return False, record
+    gate = SPEEDUP_GATE if have_numpy else 1.0
+    kernel = "numpy" if have_numpy else "stdlib-fallback"
+    verdict = "" if speedup >= gate else f"  <-- below {gate}x gate"
+    print(f"p={p:2d} k={k:4d} node-float {t_node * 1e3:8.2f}ms  "
+          f"tape-float {t_tape * 1e3:7.2f}ms ({speedup:5.1f}x, "
+          f"{kernel}, flatten {flatten_ms:.2f}ms){verdict}")
+    return speedup >= gate, record
+
+
+def check_exact_bit_identity(p, k) -> tuple[bool, dict]:
+    """tape-exact must equal the node interpreter *exactly* (the same
+    Fractions, not approximations) on the same lanes."""
+    circuit, _, overlay_specs = theta_workload(p=p, k=k)
+    t_node, node_exact = _best_of(
+        circuit.probability_batch, overlay_specs)
+    t_tape, tape_exact = _best_of(run_tape_exact, circuit,
+                                  overlay_specs)
+    record = {
+        "p": p, "k": k,
+        "node_exact_ms": round(t_node * 1e3, 2),
+        "tape_exact_ms": round(t_tape * 1e3, 2),
+        "identical": tape_exact == node_exact,
+    }
+    if tape_exact != node_exact:
+        print(f"EXACT MISMATCH: tape-exact != node interpreter at "
+              f"p={p} k={k}", file=sys.stderr)
+        return False, record
+    print(f"exact: {k} lanes bit-identical to the node interpreter "
+          f"(node {t_node * 1e3:.2f}ms, tape {t_tape * 1e3:.2f}ms)")
+    return True, record
+
+
+_HASHSEED_PROBE = """
+import hashlib, json
+from fractions import Fraction
+from repro.booleans.circuit import WeightOverlay, compile_cnf
+from repro.booleans.tape import flatten_circuit
+from repro.core import catalog
+from repro.reduction.blocks import path_block
+from repro.tid.lineage import lineage
+
+query = catalog.rst_query()
+tid = path_block(query, 6)
+circuit = compile_cnf(lineage(query, tid))
+tape = flatten_circuit(circuit)
+variables = sorted(circuit.variables(), key=repr)
+specs = [WeightOverlay(tid.probability,
+                       {variables[j % len(variables)]:
+                        Fraction(j + 1, 19)})
+         for j in range(8)]
+values = tape.evaluate(specs, numeric="exact")
+print(json.dumps({
+    "tape_sha256": hashlib.sha256(tape.to_bytes()).hexdigest(),
+    "values": [str(v) for v in values],
+}))
+"""
+
+
+def _probe(hashseed: str) -> dict:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=SRC)
+    out = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_PROBE], env=env,
+        capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def check_hashseed_determinism() -> tuple[bool, dict]:
+    """Tape bytes and tape-exact values must be identical across
+    ``PYTHONHASHSEED`` values (the store's warm-start contract)."""
+    a, b = _probe("0"), _probe("12345")
+    record = {"seeds": ["0", "12345"],
+              "tape_sha256": a["tape_sha256"],
+              "identical": a == b}
+    if a != b:
+        print("HASHSEED DRIFT: tape bytes or exact values differ "
+              "between PYTHONHASHSEED=0 and 12345", file=sys.stderr)
+        return False, record
+    print(f"hashseed: tape bytes + exact values identical across "
+          f"seeds (sha256 {a['tape_sha256'][:16]}...)")
+    return True, record
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    shapes = [(8, 512)] if quick else [(8, 512), (8, 1024), (10, 1024)]
+    ok = True
+    records = []
+    for p, k in shapes:
+        shape_ok, record = check_tape_beats_node(p, k)
+        ok &= shape_ok
+        records.append(record)
+    exact_ok, exact = check_exact_bit_identity(8 if quick else 10,
+                                               16 if quick else 32)
+    ok &= exact_ok
+    seed_ok, seeds = check_hashseed_determinism()
+    ok &= seed_ok
+    _bench_io.emit("tape", {
+        "quick": quick,
+        "gate": SPEEDUP_GATE,
+        "shapes": records,
+        "exact": exact,
+        "hashseed": seeds,
+        "ok": bool(ok),
+    })
+    if not ok:
+        print("perf regression: the tape engine lost its margin, "
+              "drifted, or broke determinism", file=sys.stderr)
+        return 1
+    print("ok: tape-float clears the gate, tape-exact is "
+          "bit-identical, serialization is hashseed-stable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import math
 import random
 
 from fractions import Fraction
@@ -140,14 +141,113 @@ def make_lookup(weights: Weights = None,
     return lambda v: table.get(v, fallback)
 
 
+class WeightOverlay:
+    """A weight spec "shared base with a few per-variable replacements".
+
+    Sweep lanes overwhelmingly have this shape — one base weighting
+    (the block marginals) plus a handful of pinned variables per lane
+    (theta-tuples, endpoints).  Spelling a lane this way keeps the
+    semantics of an ordinary spec (``WeightOverlay`` is callable, so
+    ``make_lookup`` and the node interpreter treat it like any other
+    lookup) while letting the tape engine fill its weight matrix from
+    one base column plus the overrides — O(slots + overrides) weight
+    probes per batch instead of O(slots x lanes).
+    """
+
+    __slots__ = ("base", "pinned", "_lookup")
+
+    def __init__(self, base: Weights = None, pinned=None):
+        self.base = base
+        self.pinned = dict(pinned or {})
+        self._lookup = None
+
+    def __call__(self, var):
+        inner = self._lookup
+        if inner is None:
+            inner = self._lookup = make_lookup(self.base)
+        pinned = self.pinned
+        return pinned[var] if var in pinned else inner(var)
+
+
+def _require_finite(values, var) -> None:
+    """Reject NaN/inf weights in float batches: a single poisoned lane
+    would otherwise defeat the uniform-lane fast path silently (NaN
+    compares unequal to everything, so every row widens) and propagate
+    garbage into all downstream products."""
+    for lane, value in enumerate(values):
+        if not math.isfinite(value):
+            raise ValueError(
+                f"non-finite weight {value!r} for variable {var!r} in "
+                f"float lane {lane}; float sweeps require finite "
+                f"weights (use numeric='exact' for symbolic inputs)")
+
+
+#: ``branch_variable`` scores at most this many most-shared candidates
+#: with the separator heuristic; the scan is linear in the formula per
+#: candidate, so the cap bounds pivot selection at a small constant
+#: multiple of the old most-shared rule.
+_SEPARATOR_CANDIDATES = 6
+
+
+def _separation(formula: CNF, var) -> int:
+    """The number of connected components of the clause graph once
+    ``var`` is deleted from every clause.
+
+    Both Shannon cofactors on ``var`` erase it from the residual
+    formula, so this lower-bounds how many independent factors
+    ``clause_components`` finds in *each* branch: a separator variable
+    (count > 1) lets the compiler recurse on strictly smaller pieces
+    instead of one interleaved formula.
+    """
+    reduced = [clause - {var} for clause in formula.clauses]
+    reduced = [clause for clause in reduced if clause]
+    if len(reduced) <= 1:
+        return len(reduced)
+    incidence: dict[object, list[int]] = {}
+    for i, clause in enumerate(reduced):
+        for v in clause:
+            incidence.setdefault(v, []).append(i)
+    seen = [False] * len(reduced)
+    components = 0
+    for start in range(len(reduced)):
+        if seen[start]:
+            continue
+        components += 1
+        stack = [start]
+        seen[start] = True
+        while stack:
+            i = stack.pop()
+            for v in reduced[i]:
+                for j in incidence[v]:
+                    if not seen[j]:
+                        seen[j] = True
+                        stack.append(j)
+    return components
+
+
 def branch_variable(formula: CNF):
-    """The Shannon-expansion pivot: a most-shared variable, ties broken
-    deterministically on the token's repr."""
+    """The Shannon-expansion pivot: a cutset/separator variable when
+    one exists, else a most-shared variable.
+
+    The top ``_SEPARATOR_CANDIDATES`` most-shared variables are scored
+    by how many clause components remain after deleting the variable
+    (``_separation``); conditioning on a separator factors both
+    cofactors into independent pieces, which hash-consing then shares —
+    smaller circuits before they are ever evaluated or taped.  All ties
+    break deterministically on the token's repr, preserving the
+    byte-identical-across-hash-seeds serialization contract.
+    """
     counts: dict[object, int] = {}
     for clause in formula.clauses:
         for var in clause:
             counts[var] = counts.get(var, 0) + 1
-    return max(counts, key=lambda v: (counts[v], repr(v)))
+    if len(counts) <= 2 or len(formula.clauses) < 3:
+        return max(counts, key=lambda v: (counts[v], repr(v)))
+    candidates = sorted(counts, key=lambda v: (-counts[v], repr(v)))
+    candidates = candidates[:_SEPARATOR_CANDIDATES]
+    return max(candidates,
+               key=lambda v: (_separation(formula, v), counts[v],
+                              repr(v)))
 
 
 class Circuit:
@@ -157,12 +257,15 @@ class Circuit:
     parents), so every query below is a single linear pass.
     """
 
-    __slots__ = ("nodes", "root", "_variables")
+    __slots__ = ("nodes", "root", "_variables", "_tape")
 
     def __init__(self, nodes: tuple, root: int):
         self.nodes = nodes
         self.root = root
         self._variables: frozenset | None = None
+        # Lazily attached by repro.booleans.tape.tape_for_circuit so
+        # the flattened form shares the circuit's cache lifetime.
+        self._tape = None
 
     # ------------------------------------------------------------------
     @property
@@ -245,7 +348,8 @@ class Circuit:
 
     def probability_batch(self, weight_specs: Sequence[Weights],
                           default: Fraction | None = None,
-                          numeric: str = "exact") -> list:
+                          numeric: str = "exact",
+                          engine: str = "auto") -> list:
         """Pr(F) under many weight vectors in one node-ordered pass.
 
         ``weight_specs`` is a sequence of weight specifications (each a
@@ -260,6 +364,15 @@ class Circuit:
         ``numeric="float"`` runs the same pass in hardware floats —
         callers wanting guardrails should cross-check a sample against
         the exact path (``repro.evaluation.probability_sweep`` does).
+        Non-finite float weights (NaN/inf) raise ``ValueError`` naming
+        the offending lane instead of silently poisoning the batch.
+
+        ``engine`` selects the evaluator: ``"node"`` walks this node
+        table with the uniform-lane optimization below; ``"tape"``
+        flattens the circuit once into a ``repro.booleans.tape.Tape``
+        and runs its vectorized kernels; ``"auto"`` (the default) uses
+        the tape for float batches — where the lane kernel dominates —
+        and the node walk for exact ones.
 
         Sweeps typically vary a handful of variables (endpoints,
         theta-tuples) and hold the rest fixed, so each node value is
@@ -275,10 +388,26 @@ class Circuit:
         else:
             raise ValueError(
                 f"numeric must be 'exact' or 'float', got {numeric!r}")
-        lookups = [make_lookup(spec, default) for spec in weight_specs]
-        k = len(lookups)
+        if engine not in ("auto", "node", "tape"):
+            raise ValueError(
+                f"engine must be 'auto', 'node', or 'tape', "
+                f"got {engine!r}")
+        if engine == "auto":
+            engine = "tape" if numeric == "float" else "node"
+        weight_specs = list(weight_specs)
+        k = len(weight_specs)
         if k == 0:
             return []
+        if engine == "tape":
+            # Imported lazily: tape flattens circuits, so the module
+            # depends on this one.  The tape takes the raw specs — it
+            # probes mappings directly instead of paying a closure
+            # call per (variable, lane).
+            from repro.booleans.tape import tape_for_circuit
+            return tape_for_circuit(self).evaluate(
+                weight_specs, numeric, default=default)
+        lookups = [make_lookup(spec, default) for spec in weight_specs]
+        guard = _require_finite if to_num is float else None
         # rows[i] is a scalar when node i's value is uniform across all
         # k lanes, else a length-k list.
         rows: list = [None] * len(self.nodes)
@@ -287,6 +416,8 @@ class Circuit:
             if kind is ITE:
                 var = node[1]
                 ps = [to_num(lookup(var)) for lookup in lookups]
+                if guard is not None:
+                    guard(ps, var)
                 uniform_p = all(p == ps[0] for p in ps)
                 hi, lo = rows[node[2]], rows[node[3]]
                 hi_wide = isinstance(hi, list)
@@ -321,6 +452,8 @@ class Circuit:
             elif kind is LEAF:
                 var = node[1]
                 ps = [to_num(lookup(var)) for lookup in lookups]
+                if guard is not None:
+                    guard(ps, var)
                 rows[i] = ps[0] if all(p == ps[0] for p in ps) else ps
             elif kind is TRUE:
                 rows[i] = one

@@ -19,6 +19,15 @@ Layout: ``<root>/<key[:2]>/<key>.ddnnf`` (git-object-style fan-out).
 Writes are atomic (temp file + rename); unreadable or wrong-version
 entries are treated as misses, so a store produced by a newer format
 never crashes an older reader — it just recompiles.
+
+Flattened instruction tapes (``repro.booleans.tape``) are persisted as
+a versioned sidecar section next to the circuit bytes —
+``<key>.tape`` beside ``<key>.ddnnf`` — so a warm process (notably the
+long-lived service) deserializes both and never re-flattens.  Tapes
+obey the same contract as circuits: atomic writes, corruption-as-miss,
+version skew tolerated.  ``prune(max_bytes=...)`` offers size-capped
+eviction (oldest access time first) for stores that must live inside a
+disk budget.
 """
 
 from __future__ import annotations
@@ -35,12 +44,14 @@ from repro.booleans.circuit import (
     encode_token,
 )
 from repro.booleans.cnf import CNF
+from repro.booleans.tape import Tape
 
 #: Fingerprint domain separator: bump when the canonical encoding (not
 #: the circuit format — that is versioned in its own header) changes.
 FINGERPRINT_VERSION = 1
 
 SUFFIX = ".ddnnf"
+TAPE_SUFFIX = ".tape"
 
 
 def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
@@ -145,6 +156,105 @@ class CircuitStore:
         return path
 
     # ------------------------------------------------------------------
+    # Tape sidecars (versioned section next to the circuit bytes)
+    # ------------------------------------------------------------------
+    def tape_path_for(self, key: str) -> Path:
+        return self.root / key[:2] / (key + TAPE_SUFFIX)
+
+    def get_tape(self, formula: CNF) -> Tape | None:
+        """The stored instruction tape for ``formula``, or None.
+
+        Same contract as ``get``: corruption is a miss (and the entry
+        is removed), version skew is a miss (and the entry is kept for
+        readers of that version).  Callers must still check
+        ``Tape.matches(circuit)`` before adopting — the sidecar could
+        have been written against a circuit from a different compiler
+        generation.
+        """
+        return self.load_tape(cnf_fingerprint(formula))
+
+    def load_tape(self, key: str) -> Tape | None:
+        path = self.tape_path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return Tape.from_bytes(data)
+        except UnsupportedVersionError:
+            return None
+        except ValueError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put_tape(self, formula: CNF, tape: Tape) -> Path:
+        return self.save_tape(cnf_fingerprint(formula), tape)
+
+    def save_tape(self, key: str, tape: Tape) -> Path:
+        path = self.tape_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, tape.to_bytes())
+        return path
+
+    # ------------------------------------------------------------------
+    def prune(self, max_bytes: int) -> dict:
+        """Size-capped eviction: delete entries, oldest access time
+        first, until the store fits in ``max_bytes``.
+
+        Evicting a circuit also evicts its tape sidecar (a tape without
+        its circuit is dead weight — ``load_tape`` callers only adopt a
+        tape that matches a circuit they already hold); evicting just a
+        tape leaves the circuit usable.  Returns a report dict for the
+        service ``store_gc`` op and the ``repro ctl store-gc`` verb.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = []
+        for path in sorted(self.root.glob("??/*")):
+            if path.suffix not in (SUFFIX, TAPE_SUFFIX):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_atime, path, stat.st_size))
+        total = sum(size for _, _, size in entries)
+        before = total
+        removed = 0
+        dropped: set[Path] = set()
+        # Oldest atime first; path name breaks ties deterministically.
+        entries.sort(key=lambda e: (e[0], str(e[1])))
+        for _, path, size in entries:
+            if total <= max_bytes:
+                break
+            if path in dropped:
+                continue
+            victims = [path]
+            if path.suffix == SUFFIX:
+                sidecar = path.with_suffix(TAPE_SUFFIX)
+                if sidecar.exists() and sidecar not in dropped:
+                    victims.append(sidecar)
+            for victim in victims:
+                try:
+                    freed = victim.stat().st_size
+                    victim.unlink()
+                except OSError:
+                    continue
+                dropped.add(victim)
+                removed += 1
+                total -= freed
+        return {
+            "examined": len(entries),
+            "removed": removed,
+            "bytes_before": before,
+            "bytes_after": max(total, 0),
+            "max_bytes": max_bytes,
+        }
+
+    # ------------------------------------------------------------------
     def __contains__(self, formula: CNF) -> bool:
         return self.path_for(cnf_fingerprint(formula)).exists()
 
@@ -156,11 +266,12 @@ class CircuitStore:
         return len(self.keys())
 
     def clear(self) -> None:
-        for path in self.root.glob(f"??/*{SUFFIX}"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        for suffix in (SUFFIX, TAPE_SUFFIX):
+            for path in self.root.glob(f"??/*{suffix}"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def __repr__(self) -> str:
         return f"CircuitStore({str(self.root)!r}, {len(self)} circuits)"

@@ -440,6 +440,11 @@ def cmd_query(args) -> int:
     from repro.service.client import ServiceClient, ServiceError
     from repro.service.protocol import OPS
 
+    if args.op == "store_gc":
+        # The op needs --max-bytes, which lives on the dedicated verb.
+        raise SystemExit(
+            "repro: use `repro ctl store-gc --max-bytes N` "
+            "(store_gc is not addressable through `repro query`)")
     needs_query = args.op not in ("stats", "ping", "shutdown")
     if needs_query and not args.query:
         raise SystemExit(
@@ -505,6 +510,43 @@ def cmd_query(args) -> int:
                     from None
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0
+
+
+def cmd_ctl(args) -> int:
+    import json
+
+    if args.verb == "store-gc":
+        if args.max_bytes < 0:
+            raise SystemExit("repro: --max-bytes must be non-negative")
+        if args.store:
+            # Local mode: prune the named store directory in-process.
+            from repro.booleans.store import CircuitStore
+
+            report = CircuitStore(args.store).prune(
+                max_bytes=args.max_bytes)
+            report["store"] = args.store
+        else:
+            # Remote mode: ask a running service to prune its store.
+            from repro.service.client import ServiceClient, ServiceError
+
+            try:
+                client = ServiceClient(args.host, args.port,
+                                       timeout=args.timeout)
+            except OSError as error:
+                raise SystemExit(
+                    f"repro: cannot connect to {args.host}:"
+                    f"{args.port}: {error} (is `repro serve` "
+                    f"running? or pass --store DIR to prune "
+                    f"locally)") from None
+            with client:
+                try:
+                    report = client.store_gc(args.max_bytes)
+                except ServiceError as error:
+                    raise SystemExit(
+                        f"repro: service error: {error}") from None
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    raise SystemExit(f"repro: unknown ctl verb {args.verb!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -695,6 +737,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: auto)")
     estimator_flags(p_query)
     p_query.set_defaults(fn=cmd_query)
+
+    p_ctl = sub.add_parser(
+        "ctl",
+        help="operational verbs for stores and running services")
+    ctl_sub = p_ctl.add_subparsers(dest="verb", required=True)
+    p_gc = ctl_sub.add_parser(
+        "store-gc",
+        help="size-capped eviction on a circuit store: delete "
+             "entries, oldest access time first, until the store "
+             "fits in --max-bytes")
+    p_gc.add_argument("--max-bytes", type=int, required=True,
+                      dest="max_bytes", metavar="BYTES",
+                      help="target store size in bytes (0 empties it)")
+    p_gc.add_argument("--store", metavar="DIR",
+                      help="prune this store directory locally "
+                           "(default: ask the running service)")
+    p_gc.add_argument("--host", default="127.0.0.1")
+    p_gc.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_gc.add_argument("--timeout", type=float, default=60.0,
+                      help="socket timeout in seconds (default 60)")
+    p_gc.set_defaults(fn=cmd_ctl)
     return parser
 
 

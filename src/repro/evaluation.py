@@ -57,6 +57,7 @@ from repro.tid.wmc import (
     DEFAULT_BUDGET_NODES,
     cnf_probability_auto,
     compiled,
+    ensure_tape,
     probability,
     shannon_probability,
 )
@@ -358,6 +359,12 @@ def probability_sweep(formula: CNF,
         # with no fallback budget, where the planner is still warming
         # up and budget_for returned None.
         planner.observe(len(formula), circuit.size)
+    if numeric == "float":
+        # Float batches run on the flat instruction tape; resolve it
+        # through the two-tier cache up front so a store-persisted
+        # sidecar satisfies the flattening (warm processes never
+        # re-flatten).
+        ensure_tape(formula, circuit)
     weight_maps = list(weight_maps)
     if processes and processes > 1 and len(weight_maps) > 1:
         if any(callable(w) for w in weight_maps):

@@ -35,6 +35,7 @@ from repro.tid.lineage import lineage
 from repro.tid.wmc import (
     DEFAULT_BUDGET_NODES,
     compiled,
+    ensure_tape,
     probability_batch_auto,
 )
 
@@ -43,6 +44,7 @@ HALF = Fraction(1, 2)
 
 def z_matrix_direct(query: Query, p: int, *,
                     method: str = "exact",
+                    numeric: str = "exact",
                     budget_nodes: int | None = DEFAULT_BUDGET_NODES,
                     epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
                     rng=None, estimator: str = "hoeffding",
@@ -63,6 +65,11 @@ def z_matrix_direct(query: Query, p: int, *,
     ``repro.tid.wmc.probability_batch_auto``); ``method="adaptive"``
     is ``auto`` with the sequential empirical-Bernstein sampler as the
     degraded engine.  The default is the unconditionally exact path.
+
+    ``numeric="float"`` answers the grid in hardware floats on the
+    flat instruction tape (``repro.booleans.tape``) — the fast engine
+    for screening large p; downstream algebra (spectral checks, matrix
+    powers) requires the exact rationals, so keep the default there.
     """
     tid = path_block(query, p)
     formula = lineage(query, tid)
@@ -73,15 +80,22 @@ def z_matrix_direct(query: Query, p: int, *,
             pinned.get(t, base(t)))
         for a in (0, 1) for b in (0, 1)]
     method, estimator = resolve_sweep_method(method, estimator)
+    if numeric not in ("exact", "float"):
+        raise ValueError(
+            f"numeric must be 'exact' or 'float', got {numeric!r}")
     if method == "auto":
         answer = probability_batch_auto(
             formula, grid, budget_nodes=budget_nodes,
             epsilon=epsilon, delta=delta, rng=rng,
             estimator=estimator, relative_error=relative_error,
-            planner=planner)
+            numeric=numeric, planner=planner)
         z00, z01, z10, z11 = answer.values
     else:
-        z00, z01, z10, z11 = compiled(formula).probability_batch(grid)
+        circuit = compiled(formula)
+        if numeric == "float":
+            ensure_tape(formula, circuit)
+        z00, z01, z10, z11 = circuit.probability_batch(
+            grid, numeric=numeric)
     return Matrix([[z00, z01], [z10, z11]])
 
 

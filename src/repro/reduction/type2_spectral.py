@@ -26,6 +26,7 @@ from typing import Mapping
 from repro.algebra.eigen2x2 import spectral_decomposition_2x2
 from repro.algebra.matrices import Matrix
 from repro.algebra.quadratic import QuadraticNumber
+from repro.booleans.circuit import WeightOverlay
 from repro.booleans.cnf import CNF
 from repro.booleans.connectivity import clause_components, variable_disconnects
 from repro.core.queries import Query
@@ -40,8 +41,9 @@ from repro.tid.wmc import (
     DEFAULT_BUDGET_NODES,
     cnf_probability,
     cnf_probability_auto,
-    probability_batch_auto,
     compiled,
+    ensure_tape,
+    probability_batch_auto,
 )
 
 HALF = Fraction(1, 2)
@@ -129,6 +131,7 @@ def link_matrix_type2(query: Query, symbol: str,
 def link_matrix_sweep(query: Query, symbol: str,
                       assignments, tag: str = "", *,
                       method: str = "exact",
+                      numeric: str = "exact",
                       budget_nodes: int | None = DEFAULT_BUDGET_NODES,
                       epsilon=DEFAULT_EPSILON, delta=DEFAULT_DELTA,
                       rng=None, estimator: str = "hoeffding",
@@ -152,12 +155,27 @@ def link_matrix_sweep(query: Query, symbol: str,
     ``auto`` with the sequential empirical-Bernstein sampler, and a
     ``planner`` picks each factor's budget from the observed
     circuit-size trajectory.  The default is unconditionally exact.
+
+    ``numeric="float"`` runs the interior-theta batched passes in
+    hardware floats on the flat instruction tape — useful for
+    screening wide theta-grids; it requires interior assignments (the
+    structural fallback path is exact-only) and returns float-entry
+    matrices, so keep the exact default wherever the spectral algebra
+    consumes the result.
     """
     method, estimator = resolve_sweep_method(method, estimator)
+    if numeric not in ("exact", "float"):
+        raise ValueError(
+            f"numeric must be 'exact' or 'float', got {numeric!r}")
     assignments = [dict(theta) for theta in assignments]
     interior = all(
         0 < Fraction(value) < 1
         for theta in assignments for value in theta.values())
+    if not interior and numeric == "float":
+        raise ValueError(
+            "numeric='float' requires interior theta-assignments "
+            "(0 < value < 1); boundary assignments take the "
+            "structural per-assignment path, which is exact-only")
     if not interior:
         return [link_matrix_type2(query, symbol, theta, tag,
                                   method=method,
@@ -176,10 +194,11 @@ def link_matrix_sweep(query: Query, symbol: str,
         s_tuple(s, f"r1{tag}", f"t0{tag}")
         for s in sorted(query.binary_symbols)) - {s0, s1}
     base = block.probability
+    # WeightOverlay (not a closure) so the tape float kernel can fill
+    # its weight matrix from the shared base plus the pinned tuples.
     specs = [
-        (lambda t, pinned={token: Fraction(v)
-                           for token, v in theta.items()}:
-            pinned.get(t, base(t)))
+        WeightOverlay(base, {token: Fraction(v)
+                             for token, v in theta.items()})
         for theta in assignments]
     entries: dict[tuple[int, int], list[Fraction]] = {}
     for a in (False, True):
@@ -192,10 +211,13 @@ def link_matrix_sweep(query: Query, symbol: str,
                     epsilon=epsilon, delta=delta, rng=rng,
                     estimator=estimator,
                     relative_error=relative_error,
-                    planner=planner).values
+                    numeric=numeric, planner=planner).values
             else:
-                entries[int(a), int(b)] = \
-                    compiled(factor).probability_batch(specs)
+                circuit = compiled(factor)
+                if numeric == "float":
+                    ensure_tape(factor, circuit)
+                entries[int(a), int(b)] = circuit.probability_batch(
+                    specs, numeric=numeric)
     return [
         Matrix([[entries[0, 0][i], entries[0, 1][i]],
                 [entries[1, 0][i], entries[1, 1][i]]])

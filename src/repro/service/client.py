@@ -118,6 +118,11 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.call("stats")
 
+    def store_gc(self, max_bytes: int) -> dict:
+        """Prune the service's tier-2 store down to ``max_bytes``
+        (oldest access time first); errors when no store is attached."""
+        return self.call("store_gc", max_bytes=max_bytes)
+
     def compile(self, query: str, p: int = 4,
                 budget_nodes: int | None = None) -> dict:
         return self.call("compile", query=query, p=p,

@@ -47,7 +47,7 @@ MAX_REQUEST_BYTES = 1_048_576
 
 #: Every operation the server understands.
 OPS = ("compile", "evaluate", "evaluate_batch", "sweep", "estimate",
-       "sample", "top_k", "stats", "ping", "shutdown")
+       "sample", "top_k", "stats", "store_gc", "ping", "shutdown")
 
 #: Machine-readable error codes a response may carry.
 ERROR_CODES = ("parse-error", "unsupported-version", "unknown-op",

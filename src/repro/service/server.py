@@ -181,6 +181,7 @@ class ReproServer:
             "sample": self._op_sample,
             "top_k": self._op_top_k,
             "stats": self._op_stats,
+            "store_gc": self._op_store_gc,
             "ping": self._op_ping,
             "shutdown": self._op_shutdown,
         }
@@ -336,6 +337,23 @@ class ReproServer:
         service.update(self.coalescer.stats())
         service.update(self._adaptive_stats())
         return {"cache": wmc.cache_info(), "service": service}
+
+    def _op_store_gc(self, params: dict) -> dict:
+        """Size-capped eviction on the attached tier-2 store
+        (``CircuitStore.prune``): delete entries, oldest access time
+        first, until the store fits in ``max_bytes``.  ``max_bytes``
+        is required — there is no safe default for a destructive op."""
+        check_fields(params, ("max_bytes",))
+        max_bytes = take_int(params, "max_bytes", minimum=0)
+        store = wmc.get_circuit_store()
+        if store is None or not hasattr(store, "prune"):
+            raise ProtocolError(
+                "bad-request",
+                "no circuit store attached to this service "
+                "(start it with --store or REPRO_CIRCUIT_STORE)")
+        report = store.prune(max_bytes=max_bytes)
+        report["store"] = str(getattr(store, "root", ""))
+        return report
 
     def _note_estimates(self, estimates, epsilon, delta) -> None:
         """Update the adaptive-tier counters after a request answered

@@ -80,6 +80,9 @@ def main() -> int:
                      stats["cache"])
             _require(stats["cache"]["hits"] >= 1,
                      "warm memory hits recorded", stats["cache"])
+            _require(all(key in stats["cache"] for key in
+                         ("tape_hits", "tape_flattens", "tape_bytes")),
+                     "tape counters exposed in stats", stats["cache"])
 
             degraded = client.evaluate(QUERY, p=6, budget_nodes=2)
             _require(degraded["engine"] == "estimate"

@@ -56,6 +56,14 @@ from repro.booleans.circuit import (
 )
 from repro.booleans.cnf import CNF
 from repro.booleans.connectivity import clause_components
+from repro.booleans.tape import (
+    Tape,
+    adopt_tape,
+    peek_tape,
+    reset_tape_stats,
+    tape_for_circuit,
+    tape_stats,
+)
 from repro.core.queries import Query
 from repro.tid.database import TID
 from repro.tid.lineage import lineage
@@ -164,7 +172,7 @@ def cache_info() -> dict:
     attached — enough to read warm-start behaviour off a CI log."""
     store = get_circuit_store()
     with _LOCK:
-        return {
+        info = {
             "entries": len(_CIRCUIT_CACHE),
             "nodes": _cache_nodes,
             "entry_limit": _CACHE_ENTRY_LIMIT,
@@ -172,6 +180,12 @@ def cache_info() -> dict:
             "store_attached": store is not None,
             **_stats,
         }
+    # Tape counters (tape_hits / tape_flattens / tape_bytes) live in
+    # the tape module — flattened tapes ride on circuit objects, so the
+    # counters are process-global like ours.  Merged here so the
+    # service ``stats`` op and warm-start assertions see one dict.
+    info.update(tape_stats())
+    return info
 
 
 def _evict() -> None:
@@ -294,6 +308,43 @@ def adopt(formula: CNF, circuit: Circuit) -> None:
         _remember(formula, circuit)
 
 
+def ensure_tape(formula: CNF, circuit: Circuit) -> Tape:
+    """The instruction tape for an already-compiled ``circuit``,
+    without flattening twice across warm processes.
+
+    Lookup order mirrors ``compiled``: the tape already attached to
+    the circuit (tier 1 — tapes share the circuit's LRU lifetime),
+    then the disk store's ``.tape`` sidecar (adopted only when it
+    matches this circuit's node table), then a fresh flattening whose
+    result is written through to the store best-effort.  A warm
+    service therefore performs *zero* re-flattens on repeats — the
+    ``tape_flattens`` counter in ``cache_info`` proves it.
+    """
+    if peek_tape(circuit) is None:
+        store = get_circuit_store()
+        if store is not None and hasattr(store, "get_tape"):
+            stored = store.get_tape(formula)
+            if stored is not None:
+                adopt_tape(circuit, stored)
+    fresh = peek_tape(circuit) is None
+    tape = tape_for_circuit(circuit)
+    if fresh:
+        store = get_circuit_store()
+        if store is not None and hasattr(store, "put_tape"):
+            try:
+                store.put_tape(formula, tape)
+            except OSError:
+                pass
+    return tape
+
+
+def tape_for(formula: CNF,
+             budget_nodes: int | None = None) -> Tape:
+    """Compile (or fetch) ``formula``'s circuit and return its
+    instruction tape — the one-stop entry point for float sweeps."""
+    return ensure_tape(formula, compiled(formula, budget_nodes))
+
+
 def clear_circuit_cache() -> None:
     """Drop all tier-1 circuits, the budget-failure memo, and the
     counters (mainly for tests and benchmarks; the disk store is
@@ -305,6 +356,7 @@ def clear_circuit_cache() -> None:
         _cache_nodes = 0
         for key in _stats:
             _stats[key] = 0
+    reset_tape_stats()
 
 
 def probability(query: Query, tid: TID) -> Fraction:
@@ -428,6 +480,12 @@ def probability_batch_auto(formula: CNF, weight_specs,
             values = [float(v) for v in values]
         return AutoSweep(values, ENGINE_LABELS[estimator], estimates)
     _observe(planner, formula, circuit)
+    if numeric == "float":
+        # Float batches run on the flat instruction tape; resolving it
+        # here (rather than inside probability_batch) lets the disk
+        # store's serialized sidecar satisfy the flattening, so warm
+        # services never re-flatten.
+        ensure_tape(formula, circuit)
     return AutoSweep(
         circuit.probability_batch(weight_specs, default, numeric),
         "exact")

@@ -337,6 +337,173 @@ class TestTwoTierCache:
             wmc.clear_circuit_cache()
 
 
+class TestTapeSidecar:
+    def test_put_get_round_trip(self, tmp_path):
+        from repro.booleans.tape import flatten_circuit
+
+        formula, tid = block_formula()
+        circuit = compile_cnf(formula)
+        tape = flatten_circuit(circuit)
+        store = CircuitStore(tmp_path / "store")
+        path = store.put_tape(formula, tape)
+        assert path.exists()
+        loaded = store.get_tape(formula)
+        assert loaded.to_bytes() == tape.to_bytes()
+        assert loaded.matches(circuit)
+        assert loaded.evaluate([tid.probability]) == \
+            tape.evaluate([tid.probability])
+
+    def test_miss_returns_none(self, tmp_path):
+        store = CircuitStore(tmp_path / "store")
+        assert store.get_tape(CNF([["a"]])) is None
+
+    def test_corrupt_tape_is_a_miss_and_removed(self, tmp_path):
+        from repro.booleans.tape import flatten_circuit
+
+        formula, _ = block_formula(p=1)
+        store = CircuitStore(tmp_path / "store")
+        path = store.put_tape(formula,
+                              flatten_circuit(compile_cnf(formula)))
+        path.write_bytes(b"corrupted beyond repair")
+        assert store.get_tape(formula) is None
+        assert not path.exists()
+
+    def test_wrong_version_tape_is_miss_but_kept(self, tmp_path):
+        from repro.booleans.tape import (
+            TAPE_FORMAT_VERSION,
+            flatten_circuit,
+        )
+
+        formula, _ = block_formula(p=1)
+        store = CircuitStore(tmp_path / "store")
+        path = store.put_tape(formula,
+                              flatten_circuit(compile_cnf(formula)))
+        data = path.read_bytes().replace(
+            f'"version":{TAPE_FORMAT_VERSION}'.encode(),
+            f'"version":{TAPE_FORMAT_VERSION + 1}'.encode(), 1)
+        path.write_bytes(data)
+        assert store.get_tape(formula) is None
+        assert path.exists()
+
+    def test_warm_store_never_reflattens(self, tmp_path):
+        """The PR 6 service contract: ensure_tape on a warm store
+        adopts the persisted sidecar — zero flattens in the new
+        process."""
+        from repro.booleans.tape import peek_tape
+
+        formula, tid = block_formula()
+        wmc.set_circuit_store(str(tmp_path / "store"))
+        circuit = wmc.compiled(formula)
+        tape = wmc.ensure_tape(formula, circuit)
+        expected = tape.evaluate([tid.probability], numeric="float")
+        assert wmc.cache_info()["tape_flattens"] == 1
+
+        wmc.clear_circuit_cache()  # new process, warm disk
+        warm_circuit = wmc.compiled(formula)
+        warm_tape = wmc.ensure_tape(formula, warm_circuit)
+        info = wmc.cache_info()
+        assert info["compiles"] == 0
+        assert info["tape_flattens"] == 0
+        assert peek_tape(warm_circuit) is warm_tape
+        assert warm_tape.to_bytes() == tape.to_bytes()
+        assert warm_tape.evaluate([tid.probability],
+                                  numeric="float") == expected
+
+    def test_ensure_tape_writes_sidecar_once(self, tmp_path):
+        formula, _ = block_formula(p=2)
+        store = CircuitStore(tmp_path / "store")
+        wmc.set_circuit_store(str(tmp_path / "store"))
+        circuit = wmc.compiled(formula)
+        wmc.ensure_tape(formula, circuit)
+        sidecar = store.tape_path_for(cnf_fingerprint(formula))
+        assert sidecar.exists()
+        stamp = sidecar.stat().st_mtime_ns
+        wmc.ensure_tape(formula, circuit)  # attached: no rewrite
+        assert sidecar.stat().st_mtime_ns == stamp
+
+
+class TestPrune:
+    def _populate(self, tmp_path, count=4, p_values=(1, 2, 3)):
+        from repro.booleans.tape import flatten_circuit
+
+        store = CircuitStore(tmp_path / "store")
+        paths = []
+        for p in p_values:
+            formula, _ = block_formula(p=p)
+            circuit = compile_cnf(formula)
+            paths.append(store.put(formula, circuit))
+            paths.append(store.put_tape(formula,
+                                        flatten_circuit(circuit)))
+        return store, paths
+
+    def test_prune_keeps_store_under_budget(self, tmp_path):
+        store, paths = self._populate(tmp_path)
+        total = sum(p.stat().st_size for p in paths)
+        report = store.prune(max_bytes=total // 2)
+        assert report["bytes_before"] == total
+        assert report["bytes_after"] <= total // 2
+        assert report["examined"] == len(paths)
+        assert report["removed"] >= 1
+        remaining = sum(p.stat().st_size
+                        for p in paths if p.exists())
+        assert remaining == report["bytes_after"]
+
+    def test_prune_evicts_oldest_atime_first(self, tmp_path):
+        import os
+
+        store, _ = self._populate(tmp_path)
+        entries = sorted(store.root.glob("??/*"), key=str)
+        # Make the first circuit+tape pair clearly the coldest.
+        for i, path in enumerate(entries):
+            stamp = 1_000_000_000 + i * 1000
+            os.utime(path, (stamp, stamp))
+        cold = entries[0]
+        hot = entries[-1]
+        budget = sum(p.stat().st_size for p in entries) \
+            - cold.stat().st_size
+        store.prune(max_bytes=budget)
+        assert not cold.exists()
+        assert hot.exists()
+
+    def test_evicting_a_circuit_takes_its_tape_sidecar(self, tmp_path):
+        import os
+
+        from repro.booleans.store import SUFFIX, TAPE_SUFFIX
+
+        store, _ = self._populate(tmp_path)
+        circuits = sorted(store.root.glob(f"??/*{SUFFIX}"), key=str)
+        # Age one circuit far below everything else; leave its tape
+        # sidecar hot — eviction must still take them together.
+        victim = circuits[0]
+        os.utime(victim, (1, 1))
+        sidecar = victim.parent / (
+            victim.name[: -len(SUFFIX)] + TAPE_SUFFIX)
+        assert sidecar.exists()
+        total = sum(p.stat().st_size
+                    for p in store.root.glob("??/*"))
+        store.prune(max_bytes=total - victim.stat().st_size)
+        assert not victim.exists()
+        assert not sidecar.exists()
+
+    def test_prune_to_zero_empties_the_store(self, tmp_path):
+        store, paths = self._populate(tmp_path)
+        report = store.prune(max_bytes=0)
+        assert report["bytes_after"] == 0
+        assert not any(p.exists() for p in paths)
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        store, paths = self._populate(tmp_path)
+        total = sum(p.stat().st_size for p in paths)
+        report = store.prune(max_bytes=total * 10)
+        assert report["removed"] == 0
+        assert all(p.exists() for p in paths)
+
+    def test_negative_budget_rejected(self, tmp_path):
+        store = CircuitStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="max_bytes"):
+            store.prune(max_bytes=-1)
+
+
 class TestAtomicWrites:
     def test_atomic_write_bytes_basic(self, tmp_path):
         from repro.booleans.store import atomic_write_bytes

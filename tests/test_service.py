@@ -393,6 +393,76 @@ class TestStoreIntegration:
                 assert c.stats()["cache"]["compiles"] == 0
 
 
+class TestTapeService:
+    def test_stats_expose_tape_counters(self, client):
+        stats = client.stats()
+        for key in ("tape_hits", "tape_flattens", "tape_bytes"):
+            assert key in stats["cache"]
+
+    def test_float_sweep_flattens_once(self, client):
+        client.sweep(QUERY, p=4, grid=6, numeric="float")
+        first = client.stats()["cache"]
+        assert first["tape_flattens"] == 1
+        assert first["tape_bytes"] > 0
+        client.sweep(QUERY, p=4, grid=6, numeric="float")
+        second = client.stats()["cache"]
+        assert second["tape_flattens"] == 1  # no re-flatten
+        assert second["tape_hits"] > first["tape_hits"]
+
+    def test_exact_sweep_does_not_flatten(self, client):
+        client.sweep(QUERY, p=4, grid=4)
+        assert client.stats()["cache"]["tape_flattens"] == 0
+
+    def test_warm_store_sweep_never_reflattens(self, tmp_path):
+        """The acceptance contract: a float sweep against a warm
+        store (cold memory cache — a restarted process in real life)
+        adopts the persisted tape, proving zero re-flattens through
+        the live stats counters."""
+        with ReproServer(port=0, store=str(tmp_path)) as server:
+            with ServiceClient(*server.address) as c:
+                first = c.sweep(QUERY, p=4, grid=6, numeric="float")
+                assert c.stats()["cache"]["tape_flattens"] == 1
+
+                wmc.clear_circuit_cache()  # simulate a restart
+                again = c.sweep(QUERY, p=4, grid=6, numeric="float")
+                stats = c.stats()["cache"]
+                assert stats["compiles"] == 0
+                assert stats["tape_flattens"] == 0
+                assert stats["tape_bytes"] > 0
+                assert again["values"] == first["values"]
+
+
+class TestStoreGC:
+    def test_store_gc_prunes_to_budget(self, tmp_path):
+        with ReproServer(port=0, store=str(tmp_path)) as server:
+            with ServiceClient(*server.address) as c:
+                c.compile(QUERY, p=4)
+                c.sweep(QUERY, p=4, grid=4, numeric="float")
+                report = c.store_gc(max_bytes=0)
+                assert report["bytes_after"] == 0
+                assert report["removed"] >= 2  # circuit + tape
+                assert report["store"] == str(tmp_path)
+                # The store is empty but the service keeps working.
+                assert c.compile(QUERY, p=4)["source"] in (
+                    "compiled", "memory cache")
+
+    def test_store_gc_without_store_is_bad_request(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.store_gc(max_bytes=0)
+        assert info.value.code == "bad-request"
+        assert "store" in info.value.message
+
+    def test_store_gc_validates_max_bytes(self, tmp_path):
+        with ReproServer(port=0, store=str(tmp_path)) as server:
+            with ServiceClient(*server.address) as c:
+                with pytest.raises(ServiceError) as info:
+                    c.call("store_gc")  # missing required param
+                assert info.value.code == "bad-request"
+                with pytest.raises(ServiceError) as info:
+                    c.store_gc(max_bytes=-5)
+                assert info.value.code == "bad-request"
+
+
 class TestCLI:
     def test_query_verb_against_live_server(self, server, capsys):
         host, port = server.address
@@ -425,6 +495,35 @@ class TestCLI:
         probe.close()
         with pytest.raises(SystemExit, match="cannot connect"):
             main(["query", "stats", "--port", str(port)])
+
+    def test_ctl_store_gc_local(self, tmp_path, capsys):
+        wmc.set_circuit_store(str(tmp_path))
+        _, _, formula = workload()
+        circuit = wmc.compiled(formula)
+        wmc.ensure_tape(formula, circuit)
+        assert main(["ctl", "store-gc", "--max-bytes", "0",
+                     "--store", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["bytes_after"] == 0
+        assert report["removed"] >= 2
+        assert report["store"] == str(tmp_path)
+
+    def test_ctl_store_gc_remote(self, tmp_path, capsys):
+        with ReproServer(port=0, store=str(tmp_path)) as server:
+            host, port = server.address
+            with ServiceClient(host, port) as c:
+                c.compile(QUERY, p=4)
+            assert main(["ctl", "store-gc", "--max-bytes", "0",
+                         "--host", host, "--port", str(port)]) == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["bytes_after"] == 0
+            assert report["removed"] >= 1
+
+    def test_query_verb_refuses_store_gc(self, server):
+        host, port = server.address
+        with pytest.raises(SystemExit, match="ctl store-gc"):
+            main(["query", "store_gc", "--host", host,
+                  "--port", str(port)])
 
     def test_serve_flag_validation(self):
         with pytest.raises(SystemExit, match="--workers"):
