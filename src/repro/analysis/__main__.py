@@ -1,0 +1,9 @@
+"""``python -m repro.analysis`` — same surface as ``repro ctl
+analyze``."""
+
+import sys
+
+from repro.analysis import main
+
+if __name__ == "__main__":
+    sys.exit(main())

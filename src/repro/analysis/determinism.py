@@ -1,0 +1,158 @@
+"""Determinism rule: no unordered iteration in order-sensitive code.
+
+The repository's serialization contract is byte-identical output across
+``PYTHONHASHSEED`` values (``Circuit.to_bytes``, ``Tape.to_bytes``,
+``cnf_fingerprint``, the compiler's component ordering).  Set and
+frozenset iteration order follows the hash seed, so a ``for clause in
+clauses:`` inside a fingerprint is exactly the class of bug PR 2 fixed
+by hand in the Shannon engine and compiler.  Dict *views*
+(``.keys()``/``.values()``/``.items()``) are flagged too: insertion
+order is deterministic per process but not canonical, and canonical
+output is the point of these scopes.
+
+Scope: any function or method whose dotted qualname matches
+``_ORDER_SENSITIVE`` (serialization, fingerprinting, encoding,
+compilation, flattening, interning).  The class name counts —
+``_Compiler.conjoin`` is in scope via ``_Compiler``.
+
+Flagged sinks, when fed a syntactically unordered expression (set
+literal / set comprehension / ``set()`` / ``frozenset()`` / a dict
+view / a local name bound to one of those) that is not wrapped in
+``sorted(...)``:
+
+* ``for x in <unordered>:`` and comprehension generators;
+* ``list(...)``, ``tuple(...)``, ``iter(...)``, ``enumerate(...)``,
+  ``reversed(...)``, and ``<sep>.join(...)``.
+
+Order-insensitive consumers (``sorted``, ``min``, ``max``, ``sum``,
+``len``, ``any``, ``all``, ``set``, ``frozenset``) are exempt.
+Attribute expressions (``formula.clauses``) are *not* inferred — the
+rule only trusts syntax, keeping false positives near zero.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import (
+    Finding, Rule, SourceModule, iter_function_scopes, last_name,
+    own_nodes, register,
+)
+
+_ORDER_SENSITIVE = re.compile(
+    r"to_bytes|from_bytes|fingerprint|serializ|canonical|encode|decode|"
+    r"dump|compil|flatten|intern|stable_|cache_key", re.IGNORECASE)
+
+#: Calls whose result ordering is hash-seed dependent when iterated.
+_UNORDERED_CTORS = {"set", "frozenset"}
+_DICT_VIEWS = {"keys", "values", "items"}
+
+#: Consumers that do not observe iteration order.
+_ORDER_FREE_CONSUMERS = {"sorted", "min", "max", "sum", "len", "any",
+                         "all", "set", "frozenset"}
+
+#: Order-observing call sinks.
+_ORDERED_SINKS = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+
+def _unordered(node: ast.AST, locals_map: dict[str, str]) -> str | None:
+    """A human description when ``node`` is syntactically unordered."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _UNORDERED_CTORS:
+            return f"a {func.id}() value"
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _DICT_VIEWS and not node.args
+                and not node.keywords):
+            return f"a .{func.attr}() dict view"
+    if isinstance(node, ast.Name) and node.id in locals_map:
+        return f"{locals_map[node.id]} (local {node.id!r})"
+    return None
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    summary = ("unordered set/dict iteration feeding serialization, "
+               "fingerprinting, or compile ordering")
+
+    def check_module(self, module: SourceModule):
+        for qualname, func in iter_function_scopes(module.tree):
+            if _ORDER_SENSITIVE.search(qualname):
+                yield from self._check_scope(module, qualname, func)
+
+    # ------------------------------------------------------------------
+    def _check_scope(self, module: SourceModule, qualname: str,
+                     func: ast.AST):
+        # Pass 1: local names bound (anywhere in this scope) to a
+        # syntactically unordered value.  Last-write-wins inference is
+        # deliberately naive; rebinding to an ordered value between
+        # uses should simply rename the variable.
+        locals_map: dict[str, str] = {}
+        for node in own_nodes(func):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            if isinstance(target, ast.Name) and node.value is not None:
+                desc = _unordered(node.value, {})
+                if desc is not None:
+                    locals_map[target.id] = desc
+
+        blessed: set[int] = set()
+        for node in own_nodes(func):
+            if isinstance(node, ast.Call):
+                name = last_name(node.func)
+                if name in _ORDER_FREE_CONSUMERS:
+                    for arg in node.args:
+                        blessed.add(id(arg))
+                        if isinstance(arg, ast.GeneratorExp):
+                            for gen in arg.generators:
+                                blessed.add(id(gen.iter))
+
+        def flag(site: ast.AST, sink: str, desc: str):
+            return Finding(
+                rule=self.id, path=module.rel, line=site.lineno,
+                context=qualname,
+                message=(f"{sink} over {desc} in order-sensitive "
+                         f"scope; wrap in sorted(...)"))
+
+        for node in own_nodes(func):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if id(node.iter) not in blessed:
+                    desc = _unordered(node.iter, locals_map)
+                    if desc is not None:
+                        yield flag(node.iter, "for-loop", desc)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if id(gen.iter) in blessed or id(node) in blessed:
+                        continue
+                    desc = _unordered(gen.iter, locals_map)
+                    if desc is not None:
+                        yield flag(gen.iter, "comprehension", desc)
+            elif isinstance(node, ast.Call):
+                name = last_name(node.func)
+                sink = None
+                if (isinstance(node.func, ast.Name)
+                        and name in _ORDERED_SINKS):
+                    sink = f"{name}(...)"
+                elif (isinstance(node.func, ast.Attribute)
+                        and name == "join"):
+                    sink = "str.join(...)"
+                if sink is None or not node.args:
+                    continue
+                arg = node.args[0]
+                if id(arg) in blessed:
+                    continue
+                desc = _unordered(arg, locals_map)
+                if desc is not None:
+                    yield flag(node, sink, desc)
+
+
+register(DeterminismRule())

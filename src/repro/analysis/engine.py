@@ -1,0 +1,490 @@
+"""AST-based repo-invariant analyzer: engine.
+
+The correctness story of this reproduction rests on invariants no
+off-the-shelf linter understands: bit-identical serialization across
+``PYTHONHASHSEED`` values, exact ``Fraction`` kernels never contaminated
+by floats, module state touched only under ``_LOCK``, and a service
+protocol whose server ops, client methods, validators, and README docs
+stay in sync.  This package checks those invariants *statically* so a
+violation fails CI at lint time instead of probabilistically in a
+two-hashseed subprocess probe.
+
+This module is the rule-agnostic machinery:
+
+* a file walker rooted at the repository (``collect_files``);
+* a rule registry (``register`` / ``all_rules``) — rule packs live in
+  sibling modules and self-register on import;
+* suppression comments — ``# repro: allow[rule-id] reason`` on the
+  finding line or the line above silences that rule there; the reason
+  is mandatory (a reasonless allow is itself reported);
+* a committed baseline (``ANALYSIS_BASELINE.json``) keyed by
+  line-number-independent finding keys, so pre-existing, justified
+  findings don't block CI but *new* ones do;
+* human-readable and ``--json`` reporters and the shared CLI entry
+  used by both ``python -m repro.analysis`` and ``repro ctl analyze``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Name of the committed baseline file at the repository root.
+BASELINE_NAME = "ANALYSIS_BASELINE.json"
+BASELINE_VERSION = 1
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_*,\- ]+)\]"
+    r"[ \t]*(?P<reason>.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site.
+
+    ``key`` deliberately omits the line number: baselines must survive
+    unrelated edits that shift code up or down, so identity is
+    (path, rule, enclosing scope, message) and the line is display-only.
+    """
+
+    rule: str
+    path: str      # repository-relative posix path
+    line: int
+    context: str   # enclosing qualname, or "module"
+    message: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.path}::{self.rule}::{self.context}::{self.message}"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] "
+                f"{self.context}: {self.message}")
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "context": self.context, "message": self.message,
+                "key": self.key}
+
+
+class SourceModule:
+    """A parsed Python file plus its suppression-comment table."""
+
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: line -> (rule-id set, reason)
+        self.suppressions: dict[int, tuple[frozenset, str]] = {}
+        for lineno, text in enumerate(self.lines, 1):
+            m = _SUPPRESS_RE.search(text)
+            if m is not None:
+                rules = frozenset(
+                    r.strip() for r in m.group("rules").split(",")
+                    if r.strip())
+                self.suppressions[lineno] = (rules,
+                                             m.group("reason").strip())
+
+    def suppression_for(self, finding: Finding) -> str | None:
+        """The justification silencing ``finding``, or ``None``.
+
+        A suppression applies on the finding's own line or the line
+        above, must name the rule (or ``*``), and must carry a
+        non-empty reason.
+        """
+        for lineno in (finding.line, finding.line - 1):
+            entry = self.suppressions.get(lineno)
+            if entry is None:
+                continue
+            rules, reason = entry
+            if reason and ("*" in rules or finding.rule in rules):
+                return reason
+        return None
+
+    def reasonless_suppressions(self) -> Iterator[Finding]:
+        for lineno, (rules, reason) in sorted(self.suppressions.items()):
+            if not reason:
+                yield Finding(
+                    rule="suppression", path=self.rel, line=lineno,
+                    context="module",
+                    message=("suppression comment for "
+                             f"[{', '.join(sorted(rules))}] has no "
+                             "reason — `# repro: allow[rule] why`"))
+
+
+class Project:
+    """The set of modules under analysis plus the repository root."""
+
+    def __init__(self, root: Path, modules: list[SourceModule]):
+        self.root = root
+        self.modules = modules
+        self._by_rel = {m.rel: m for m in modules}
+
+    def module(self, rel_suffix: str) -> SourceModule | None:
+        """Exact rel-path match, else unique ``/``-suffix match."""
+        hit = self._by_rel.get(rel_suffix)
+        if hit is not None:
+            return hit
+        for m in self.modules:
+            if m.rel.endswith("/" + rel_suffix):
+                return m
+        return None
+
+    def text(self, rel: str) -> str | None:
+        path = self.root / rel
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+
+class Rule:
+    """Base class for rule packs.  Subclasses set ``id``/``summary``
+    and override ``check_module`` (per file) and/or ``check_repo``
+    (once, cross-file)."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def check_repo(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if not rule.id:
+        raise ValueError("rule must define a non-empty id")
+    _RULES[rule.id] = rule
+    return rule
+
+
+def all_rules() -> list[Rule]:
+    return [_RULES[name] for name in sorted(_RULES)]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers for the rule packs
+# ----------------------------------------------------------------------
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(dotted qualname, node)`` for every function and class,
+    depth-first, outermost first."""
+    def walk(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                yield qual, child
+                yield from walk(child, qual)
+    yield from walk(tree, "")
+
+
+def iter_function_scopes(
+        tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    for qual, node in iter_scopes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield qual, node
+
+
+def own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function/class body without descending into nested
+    function or class scopes (those are visited as their own scopes)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def last_name(func: ast.AST) -> str | None:
+    """The trailing identifier of a call target: ``OrderedDict`` for
+    both ``OrderedDict(...)`` and ``collections.OrderedDict(...)``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> dict[str, str]:
+    """``finding key -> justification`` from the committed baseline."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError:
+        return {}
+    except json.JSONDecodeError as e:
+        raise SystemExit(
+            f"repro: ctl analyze: corrupt baseline {path}: {e}") from None
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise SystemExit(
+            f"repro: ctl analyze: unsupported baseline format in {path}")
+    out: dict[str, str] = {}
+    for entry in raw.get("findings", ()):
+        if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+            out[entry["key"]] = str(entry.get("reason", ""))
+    return out
+
+
+def write_baseline(path: Path, findings: Sequence[Finding],
+                   reasons: dict[str, str]) -> None:
+    """Rewrite the baseline to exactly the current finding set,
+    carrying forward justifications for keys that persist."""
+    entries = []
+    seen = set()
+    for f in findings:
+        if f.key in seen:
+            continue
+        seen.add(f.key)
+        entries.append({
+            "key": f.key,
+            "reason": reasons.get(
+                f.key, "TODO: justify or fix (added by --baseline)"),
+        })
+    entries.sort(key=lambda e: e["key"])
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# File collection
+# ----------------------------------------------------------------------
+def _fail(message: str) -> None:
+    raise SystemExit(f"repro: ctl analyze: {message}")
+
+
+def _walk_py(base: Path) -> Iterator[Path]:
+    for path in sorted(base.rglob("*.py")):
+        parts = path.relative_to(base).parts
+        if any(p == "__pycache__" or p.startswith(".") for p in parts):
+            continue
+        yield path
+
+
+def discover_root(start: Path | None = None) -> Path:
+    """The repository root: nearest ancestor of the working directory
+    holding the baseline file or ``.git``; else the checkout containing
+    this package (``src/repro`` layout)."""
+    here = (start or Path.cwd()).resolve()
+    for cand in (here, *here.parents):
+        if (cand / BASELINE_NAME).is_file() or (cand / ".git").exists():
+            return cand
+    return Path(__file__).resolve().parents[3]
+
+
+def collect_files(root: Path, paths: Sequence[str] | None) -> list[Path]:
+    """Resolve analysis targets to a sorted, de-duplicated ``.py`` list.
+
+    With no explicit paths the whole ``src/`` tree (or the root, when
+    there is no ``src/``) is analyzed.  Explicit paths must exist, live
+    inside ``root``, and be Python files or directories — anything else
+    is a friendly ``SystemExit`` (satellite: no tracebacks for bad
+    operands).
+    """
+    root = root.resolve()
+    if not paths:
+        base = root / "src"
+        targets: list[Path] = [base if base.is_dir() else root]
+    else:
+        targets = []
+        for raw in paths:
+            p = Path(raw).expanduser()
+            p = (p if p.is_absolute() else Path.cwd() / p).resolve()
+            if not p.exists():
+                _fail(f"path does not exist: {raw}")
+            try:
+                p.relative_to(root)
+            except ValueError:
+                _fail(f"{raw} is outside the analyzed repository "
+                      f"root ({root})")
+            if p.is_file() and p.suffix != ".py":
+                _fail(f"not a Python source file: {raw}")
+            targets.append(p)
+    files: dict[Path, None] = {}
+    for target in targets:
+        if target.is_file():
+            files.setdefault(target)
+        else:
+            for path in _walk_py(target):
+                files.setdefault(path)
+    return sorted(files)
+
+
+def load_project(root: Path,
+                 files: Sequence[Path]) -> tuple[Project, list[Finding]]:
+    modules: list[SourceModule] = []
+    findings: list[Finding] = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            findings.append(Finding(
+                rule="parse-error", path=rel, line=1, context="module",
+                message=f"cannot read source: {e}"))
+            continue
+        try:
+            modules.append(SourceModule(path, rel, source))
+        except SyntaxError as e:
+            findings.append(Finding(
+                rule="parse-error", path=rel, line=e.lineno or 1,
+                context="module", message=f"cannot parse: {e.msg}"))
+    return Project(root, modules), findings
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class Report:
+    root: Path
+    files: int
+    findings: list[Finding]             # active: fail the run
+    baselined: list[tuple[Finding, str]]
+    suppressed: list[tuple[Finding, str]]
+    stale_baseline: list[str]           # baseline keys nothing matched
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "files": self.files,
+            "findings": [f.to_json() for f in self.findings],
+            "baselined": [dict(f.to_json(), reason=r)
+                          for f, r in self.baselined],
+            "suppressed": [dict(f.to_json(), reason=r)
+                           for f, r in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+    def render_text(self) -> str:
+        out = [f.render() for f in self.findings]
+        for key in self.stale_baseline:
+            out.append(f"warning: stale baseline entry (nothing "
+                       f"matches): {key}")
+        out.append(
+            f"repro.analysis: {len(self.findings)} finding(s) "
+            f"({len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed) "
+            f"across {self.files} file(s)")
+        return "\n".join(out)
+
+
+def analyze(root: Path, paths: Sequence[str] | None = None,
+            rules: Sequence[Rule] | None = None,
+            baseline: dict[str, str] | None = None) -> Report:
+    files = collect_files(root, paths)
+    project, raw = load_project(root, files)
+    for module in project.modules:
+        raw.extend(module.reasonless_suppressions())
+    for rule in (rules if rules is not None else all_rules()):
+        for module in project.modules:
+            raw.extend(rule.check_module(module))
+        raw.extend(rule.check_repo(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    by_rel = {m.rel: m for m in project.modules}
+    baseline = dict(baseline or {})
+    active: list[Finding] = []
+    baselined: list[tuple[Finding, str]] = []
+    suppressed: list[tuple[Finding, str]] = []
+    matched_keys: set[str] = set()
+    for f in raw:
+        module = by_rel.get(f.path)
+        reason = (module.suppression_for(f)
+                  if module is not None else None)
+        if reason is not None:
+            suppressed.append((f, reason))
+        elif f.key in baseline:
+            matched_keys.add(f.key)
+            baselined.append((f, baseline[f.key]))
+        else:
+            active.append(f)
+    # Stale-entry detection is only meaningful when the whole tree was
+    # scanned; a subset run would flag every out-of-scope entry.
+    stale = (sorted(set(baseline) - matched_keys) if not paths else [])
+    return Report(root=root, files=len(files), findings=active,
+                  baselined=baselined, suppressed=suppressed,
+                  stale_baseline=stale)
+
+
+def run(paths: Sequence[str] | None = None, *,
+        root: str | Path | None = None,
+        json_output: bool = False,
+        update_baseline: bool = False,
+        baseline_file: str | Path | None = None,
+        stream=None) -> int:
+    """Shared entry for ``repro ctl analyze`` and
+    ``python -m repro.analysis``.  Returns the process exit status:
+    0 when clean (modulo baseline + suppressions), 1 otherwise."""
+    out = stream if stream is not None else sys.stdout
+    root_path = (Path(root).expanduser().resolve() if root is not None
+                 else discover_root())
+    if not root_path.is_dir():
+        _fail(f"repository root is not a directory: {root_path}")
+    bl_path = (Path(baseline_file).expanduser().resolve()
+               if baseline_file is not None
+               else root_path / BASELINE_NAME)
+    baseline = load_baseline(bl_path)
+
+    if update_baseline:
+        report = analyze(root_path, paths, baseline={})
+        write_baseline(bl_path, report.findings, baseline)
+        print(f"repro.analysis: baseline rewritten with "
+              f"{len(report.findings)} finding(s) -> {bl_path}",
+              file=out)
+        return 0
+
+    report = analyze(root_path, paths, baseline=baseline)
+    if json_output:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(report.render_text(), file=out)
+    return 1 if report.findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=("Repo-invariant static analyzer: determinism, "
+                     "lock discipline, exact/float numeric boundary, "
+                     "protocol drift."))
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze "
+                             "(default: the src/ tree)")
+    parser.add_argument("--json", action="store_true",
+                        dest="json_output",
+                        help="emit the machine-readable report")
+    parser.add_argument("--baseline", action="store_true",
+                        help="rewrite the baseline file to accept all "
+                             "current findings")
+    parser.add_argument("--baseline-file", default=None,
+                        help=f"override the baseline path "
+                             f"(default: <root>/{BASELINE_NAME})")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: auto-detected)")
+    args = parser.parse_args(argv)
+    return run(args.paths or None, root=args.root,
+               json_output=args.json_output,
+               update_baseline=args.baseline,
+               baseline_file=args.baseline_file)

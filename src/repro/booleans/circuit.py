@@ -898,6 +898,7 @@ class _Compiler:
         if not flat:
             return self.true_id
         if len(flat) == 1:
+            # repro: allow[determinism] singleton set: order-free by construction
             return next(iter(flat))
         return self._intern((AND, tuple(sorted(flat))))
 

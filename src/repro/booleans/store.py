@@ -227,7 +227,7 @@ class CircuitStore:
         dropped: set[Path] = set()
         # Oldest atime first; path name breaks ties deterministically.
         entries.sort(key=lambda e: (e[0], str(e[1])))
-        for _, path, size in entries:
+        for _, path, _size in entries:
             if total <= max_bytes:
                 break
             if path in dropped:

@@ -143,6 +143,79 @@ class Tape:
         return (self.circuit_nodes == circuit.size
                 and self.circuit_root == circuit.root)
 
+    def validate(self) -> None:
+        """Check every structural invariant the kernels rely on.
+
+        Raises ``ValueError`` on the first violation: opcode out of
+        range, operand-index out of bounds, operands not strictly
+        before their users (topological order), n-ary ops with fewer
+        than two operands, a root register out of range, duplicate
+        entries in the literal-slot table, or a slot table that is not
+        in first-use order (the flattener assigns slot ``j`` only
+        after slots ``0..j-1`` have appeared, which is what makes the
+        serialization byte-identical across hash seeds).
+
+        ``from_bytes`` runs this on every deserialized tape so a
+        corrupt-but-parseable ``.tape`` sidecar fails closed (the
+        store maps that to a cache miss + unlink) instead of
+        producing wrong numbers.  Flattened tapes satisfy it by
+        construction.
+        """
+        ops, arg0, arg1 = self.ops, self.arg0, self.arg1
+        operands, slots = self.operands, self.slots
+        n = len(ops)
+        if not (len(arg0) == len(arg1) == n):
+            raise ValueError("corrupt tape: instruction arrays "
+                             "disagree in length")
+        if not isinstance(self.root, int) or \
+                not 0 <= self.root < n:
+            raise ValueError(
+                f"root register {self.root!r} out of range")
+        n_slots = len(slots)
+        if len(set(slots)) != n_slots:
+            raise ValueError("corrupt tape: duplicate variables in "
+                             "the literal-slot table")
+        next_slot = 0  # first-use discipline: LITs reveal 0,1,2,...
+        for i in range(n):
+            op = ops[i]
+            if op == OP_LIT:
+                slot = arg0[i]
+                if not 0 <= slot < n_slots:
+                    raise ValueError(f"corrupt tape: instruction {i} "
+                                     f"slot out of range")
+                if slot > next_slot:
+                    raise ValueError(
+                        f"corrupt tape: instruction {i} uses slot "
+                        f"{slot} before slots 0..{slot - 1} (slot "
+                        f"table not in first-use order)")
+                if slot == next_slot:
+                    next_slot += 1
+            elif op == OP_NEG:
+                if not 0 <= arg0[i] < i:
+                    raise ValueError(f"corrupt tape: instruction {i} "
+                                     f"out of topological order")
+            elif op in (OP_AND, OP_OR):
+                start, stop = arg0[i], arg1[i]
+                if not (0 <= start <= stop <= len(operands)):
+                    raise ValueError(f"corrupt tape: instruction {i} "
+                                     f"operand range out of bounds")
+                if stop - start < 2:
+                    raise ValueError(f"corrupt tape: instruction {i} "
+                                     f"has fewer than two operands")
+                for j in range(start, stop):
+                    if not 0 <= operands[j] < i:
+                        raise ValueError(
+                            f"corrupt tape: instruction {i} out of "
+                            f"topological order")
+            elif op not in (OP_CONST0, OP_CONST1):
+                raise ValueError(f"unknown opcode {op!r} at "
+                                 f"instruction {i}")
+        if next_slot != n_slots:
+            raise ValueError(
+                f"corrupt tape: {n_slots - next_slot} slot table "
+                f"entr{'y' if n_slots - next_slot == 1 else 'ies'} "
+                f"never referenced by a LIT instruction")
+
     def stats(self) -> dict:
         counts = [0] * 6
         for op in self.ops:
@@ -498,40 +571,16 @@ class Tape:
         if len(operands) != header.get("operand_refs"):
             raise ValueError("corrupt tape: operand table length "
                              "disagrees with the header")
-        if not isinstance(root, int) or not 0 <= root < len(ops):
-            raise ValueError(f"root register {root!r} out of range")
-        n_slots = len(slots)
-        for i in range(count):
-            op = ops[i]
-            if op == OP_LIT:
-                if not 0 <= arg0[i] < n_slots:
-                    raise ValueError(f"corrupt tape: instruction {i} "
-                                     f"slot out of range")
-            elif op == OP_NEG:
-                if not 0 <= arg0[i] < i:
-                    raise ValueError(f"corrupt tape: instruction {i} "
-                                     f"out of topological order")
-            elif op in (OP_AND, OP_OR):
-                start, stop = arg0[i], arg1[i]
-                if not (0 <= start <= stop <= len(operands)):
-                    raise ValueError(f"corrupt tape: instruction {i} "
-                                     f"operand range out of bounds")
-                if stop - start < 2:
-                    raise ValueError(f"corrupt tape: instruction {i} "
-                                     f"has fewer than two operands")
-                for j in range(start, stop):
-                    if not 0 <= operands[j] < i:
-                        raise ValueError(
-                            f"corrupt tape: instruction {i} out of "
-                            f"topological order")
-            elif op not in (OP_CONST0, OP_CONST1):
-                raise ValueError(f"unknown opcode {op!r} at "
-                                 f"instruction {i}")
         if not isinstance(circuit_nodes, int) or \
                 not isinstance(circuit_root, int):
             raise ValueError("corrupt tape: bad circuit binding")
-        return cls(ops, arg0, arg1, operands, slots, root,
+        tape = cls(ops, arg0, arg1, operands, slots, root,
                    circuit_nodes, circuit_root)
+        # Fail closed: a corrupt-but-parseable sidecar must raise here
+        # (the store turns that into a cache miss + unlink), never
+        # produce wrong numbers.
+        tape.validate()
+        return tape
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ import re
 import sys
 
 from fractions import Fraction
+from pathlib import Path
 
 from repro.core.catalog import CENSUS
 from repro.core.clauses import Clause
@@ -177,7 +178,7 @@ def _load_circuit(path: str, formula):
     from repro.tid import wmc
 
     try:
-        circuit = Circuit.from_bytes(open(path, "rb").read())
+        circuit = Circuit.from_bytes(Path(path).read_bytes())
     except OSError as error:
         raise SystemExit(f"repro: cannot read {path}: {error}") from None
     except ValueError as error:
@@ -546,6 +547,17 @@ def cmd_ctl(args) -> int:
                         f"repro: service error: {error}") from None
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
+    if args.verb == "analyze":
+        # Repo-invariant static analyzer.  Bad operands (outside the
+        # repo, not Python) exit with a one-line `repro: ...` message
+        # via the engine's own friendly-SystemExit convention.
+        from repro.analysis import run as analysis_run
+
+        return analysis_run(
+            args.paths or None, root=args.root,
+            json_output=args.json_output,
+            update_baseline=args.baseline,
+            baseline_file=args.baseline_file)
     raise SystemExit(f"repro: unknown ctl verb {args.verb!r}")
 
 
@@ -758,6 +770,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_gc.add_argument("--timeout", type=float, default=60.0,
                       help="socket timeout in seconds (default 60)")
     p_gc.set_defaults(fn=cmd_ctl)
+
+    p_analyze = ctl_sub.add_parser(
+        "analyze",
+        help="repo-invariant static analyzer: determinism lint, "
+             "lock discipline, exact/float numeric boundary, "
+             "protocol drift (exit 1 on non-baselined findings)")
+    p_analyze.add_argument("paths", nargs="*",
+                           help="files or directories to analyze "
+                                "(default: the src/ tree)")
+    p_analyze.add_argument("--json", action="store_true",
+                           dest="json_output",
+                           help="emit the machine-readable report")
+    p_analyze.add_argument("--baseline", action="store_true",
+                           help="rewrite ANALYSIS_BASELINE.json to "
+                                "accept all current findings")
+    p_analyze.add_argument("--baseline-file", default=None,
+                           help="override the baseline path")
+    p_analyze.add_argument("--root", default=None,
+                           help="repository root "
+                                "(default: auto-detected)")
+    p_analyze.set_defaults(fn=cmd_ctl)
     return parser
 
 

@@ -99,11 +99,11 @@ def is_forbidden(query: Query) -> bool:
         if len(path) < 2:
             return False  # length-0 paths fall outside Definition C.11
         first, second = path[0], path[1]
-        for symbol in first.binary_symbols:
-            if symbol not in lu and symbol not in second.symbols:
-                return False
+        if any(symbol not in lu and symbol not in second.symbols
+               for symbol in first.binary_symbols):
+            return False
         last, before_last = path[-1], path[-2]
-        for symbol in last.binary_symbols:
-            if symbol not in ru and symbol not in before_last.symbols:
-                return False
+        if any(symbol not in ru and symbol not in before_last.symbols
+               for symbol in last.binary_symbols):
+            return False
     return True

@@ -307,7 +307,7 @@ class TestTiltedProposal:
                 continue
             q_prob = F(1)
             ratio = F(1)
-            for var, bit, p, q in zip(scope, bits, marginals, proposal):
+            for _var, bit, p, q in zip(scope, bits, marginals, proposal):
                 q_prob *= q if bit else 1 - q
                 ratio *= (p / q) if bit else (1 - p) / (1 - q)
             total += q_prob * ratio

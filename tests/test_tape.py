@@ -297,6 +297,95 @@ class TestSerialization:
             Tape.from_bytes("\n".join(lines).encode("utf-8"))
 
 
+def _mangled_lines(data):
+    lines = data.decode("utf-8").splitlines()
+    return json.loads(lines[0]), lines
+
+
+class TestValidate:
+    """``Tape.validate`` — the structural gate ``from_bytes`` runs so
+    corrupt-but-parseable sidecars fail closed."""
+
+    def test_fresh_tapes_validate(self):
+        formula, _ = rst_formula()
+        flatten_circuit(compile_cnf(formula)).validate()  # no raise
+        flatten_circuit(compile_cnf(CNF([]))).validate()  # constant
+
+    def test_duplicate_slot_table_entry(self):
+        formula, _ = rst_formula()
+        data = flatten_circuit(compile_cnf(formula)).to_bytes()
+        header, lines = _mangled_lines(data)
+        assert len(header["slots"]) >= 2
+        header["slots"][1] = header["slots"][0]
+        lines[0] = json.dumps(header)
+        with pytest.raises(ValueError, match="duplicate"):
+            Tape.from_bytes("\n".join(lines).encode("utf-8"))
+
+    def test_slot_table_first_use_order(self):
+        # Pointing the first LIT at the last slot is a parseable tape
+        # that would bind weights to the wrong variables — it must be
+        # rejected, not evaluated.
+        formula, _ = rst_formula()
+        tape = flatten_circuit(compile_cnf(formula))
+        data = tape.to_bytes()
+        header, lines = _mangled_lines(data)
+        ops = json.loads(lines[1])
+        arg0 = json.loads(lines[2])
+        first_lit = ops.index(tape_module.OP_LIT)
+        assert arg0[first_lit] == 0 and len(header["slots"]) > 1
+        arg0[first_lit] = len(header["slots"]) - 1
+        lines[2] = json.dumps(arg0)
+        with pytest.raises(ValueError, match="first-use"):
+            Tape.from_bytes("\n".join(lines).encode("utf-8"))
+
+    def test_unreferenced_slot_entry(self):
+        formula, _ = rst_formula()
+        data = flatten_circuit(compile_cnf(formula)).to_bytes()
+        header, lines = _mangled_lines(data)
+        header["slots"].append(["s", "never-used-variable"])
+        lines[0] = json.dumps(header)
+        with pytest.raises(ValueError, match="never referenced"):
+            Tape.from_bytes("\n".join(lines).encode("utf-8"))
+
+    def test_unknown_opcode(self):
+        formula, _ = rst_formula()
+        data = flatten_circuit(compile_cnf(formula)).to_bytes()
+        _, lines = _mangled_lines(data)
+        ops = json.loads(lines[1])
+        ops[0] = 9
+        lines[1] = json.dumps(ops)
+        with pytest.raises(ValueError, match="opcode"):
+            Tape.from_bytes("\n".join(lines).encode("utf-8"))
+
+    def test_direct_validate_catches_bad_arity(self):
+        from array import array
+
+        tape = Tape(array("B", [tape_module.OP_CONST1,
+                               tape_module.OP_AND]),
+                    array("q", [0, 0]), array("q", [0, 1]),
+                    array("q", [0]), (), 1, 2, 1)
+        with pytest.raises(ValueError, match="fewer than two"):
+            tape.validate()
+
+    def test_invalid_sidecar_is_store_miss_and_removed(self, tmp_path):
+        # Parseable-but-invalid .tape sidecars go through the same
+        # corrupt→miss+unlink path as unparseable garbage.
+        from repro.booleans.store import CircuitStore
+
+        formula, _ = rst_formula()
+        tape = flatten_circuit(compile_cnf(formula))
+        store = CircuitStore(tmp_path)
+        path = store.put_tape(formula, tape)
+        header, lines = _mangled_lines(path.read_bytes())
+        ops = json.loads(lines[1])
+        arg0 = json.loads(lines[2])
+        arg0[ops.index(tape_module.OP_LIT)] = len(header["slots"]) - 1
+        lines[2] = json.dumps(arg0)
+        path.write_bytes("\n".join(lines).encode("utf-8"))
+        assert store.get_tape(formula) is None
+        assert not path.exists()
+
+
 _PROBE = """
 import hashlib, json
 from repro.booleans.circuit import compile_cnf
