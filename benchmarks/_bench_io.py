@@ -8,6 +8,12 @@ into a per-commit time series instead of a pass/fail bit.
 
 The destination directory is ``$BENCH_JSON_DIR`` (created if missing),
 defaulting to the current working directory.
+
+Script mode renders the artifacts back for humans:
+``python benchmarks/_bench_io.py --summary <dir-or-files>`` prints a
+markdown table of every ``BENCH_*.json`` found — CI appends it to
+``$GITHUB_STEP_SUMMARY`` so the perf trajectory of a run is readable
+on the run page without downloading artifacts.
 """
 
 from __future__ import annotations
@@ -44,3 +50,82 @@ def emit(name: str, payload: dict) -> Path:
         encoding="utf-8")
     print(f"bench artifact: {path}", file=sys.stderr)
     return path
+
+
+#: Provenance/bookkeeping keys excluded from the summary headline.
+_NON_HEADLINE = ("bench", "unix_time", "python", "implementation",
+                 "hashseed", "quick", "ok")
+
+
+def _collect(paths) -> list:
+    """Expand directories to their ``BENCH_*.json`` files, sorted."""
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def _headline(document: dict) -> str:
+    """The artifact's numeric scalars as a compact ``key=value`` run."""
+    pieces = []
+    for key, value in sorted(document.items()):
+        if key in _NON_HEADLINE or isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            pieces.append(f"{key}={value:g}")
+    return " ".join(pieces)
+
+
+def summarize(paths) -> str:
+    """Markdown table over ``BENCH_*.json`` files (or directories of
+    them) — one row per artifact: identity, verdict, headline numbers.
+
+    Unreadable files become a row, not a crash: the summary step runs
+    ``if: always()`` and must never mask the real failure.
+    """
+    lines = ["| bench | python | hashseed | ok | headline |",
+             "| --- | --- | --- | --- | --- |"]
+    for path in _collect(paths):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            lines.append(f"| `{path.name}` | — | — | unreadable "
+                         f"| {error} |")
+            continue
+        verdict = document.get("ok")
+        lines.append(
+            "| {bench} | {python} | {seed} | {ok} | {headline} |"
+            .format(
+                bench=document.get("bench", path.name),
+                python=document.get("python", "—"),
+                seed=document.get("hashseed") or "—",
+                ok={True: "yes", False: "**NO**"}.get(verdict, "—"),
+                headline=_headline(document) or "—"))
+    if len(lines) == 2:
+        return "no BENCH_*.json artifacts found\n"
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="render BENCH_*.json artifacts as markdown")
+    parser.add_argument("--summary", action="store_true", required=True,
+                        help="print a markdown summary table")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="BENCH_*.json files or directories "
+                             "holding them (default: $BENCH_JSON_DIR "
+                             "or the current directory)")
+    args = parser.parse_args(argv)
+    paths = args.paths or [os.environ.get("BENCH_JSON_DIR") or "."]
+    print(summarize(paths), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

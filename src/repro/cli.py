@@ -19,6 +19,7 @@ forall x (forall y S1 v forall y S2).
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 
@@ -409,6 +410,41 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_auth_tokens(text: str) -> dict:
+    """``"alice=TOKEN1,bob=TOKEN2"`` -> ``{token: tenant}`` for the
+    service's tenant registry."""
+    tokens: dict = {}
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        tenant, sep, token = piece.partition("=")
+        tenant, token = tenant.strip(), token.strip()
+        if not sep or not tenant or not token:
+            raise SystemExit(
+                f"repro: bad --auth-tokens piece {piece!r} — write "
+                f"TENANT=TOKEN[,TENANT=TOKEN...]")
+        if token in tokens:
+            raise SystemExit(
+                f"repro: --auth-tokens token for {tenant!r} collides "
+                f"with tenant {tokens[token]!r} (tokens must be "
+                f"unique)")
+        tokens[token] = tenant
+    if not tokens:
+        raise SystemExit("repro: --auth-tokens named no tenants")
+    return tokens
+
+
+def _parse_quota(spec: str, flag: str):
+    from repro.service.tenants import TenantQuota
+
+    try:
+        return TenantQuota.parse(spec)
+    except ValueError as error:
+        raise SystemExit(f"repro: bad {flag} {spec!r}: {error}") \
+            from None
+
+
 def cmd_serve(args) -> int:
     from repro.service.server import ReproServer
     from repro.tid.wmc import DEFAULT_BUDGET_NODES
@@ -417,11 +453,34 @@ def cmd_serve(args) -> int:
         raise SystemExit("repro: --workers must be at least 1")
     if args.window < 0:
         raise SystemExit("repro: --window must be non-negative")
+    if args.store_max_bytes is not None and args.store_max_bytes < 0:
+        raise SystemExit("repro: --store-max-bytes must be "
+                         "non-negative")
+    if args.store_max_bytes is not None and not (
+            args.store or os.environ.get("REPRO_CIRCUIT_STORE")):
+        raise SystemExit("repro: --store-max-bytes needs a store "
+                         "(--store DIR or $REPRO_CIRCUIT_STORE)")
+    auth_tokens = (_parse_auth_tokens(args.auth_tokens)
+                   if args.auth_tokens else None)
+    quota = (_parse_quota(args.quota, "--quota")
+             if args.quota else None)
+    tenant_quotas = {}
+    for spec in args.tenant_quota or ():
+        tenant, sep, body = spec.partition(":")
+        if not sep or not tenant.strip():
+            raise SystemExit(
+                f"repro: bad --tenant-quota {spec!r} — write "
+                f"TENANT:rate=...,window=...,nodes=...")
+        tenant_quotas[tenant.strip()] = _parse_quota(
+            body, "--tenant-quota")
     budget = args.budget if args.budget is not None \
         else DEFAULT_BUDGET_NODES
     server = ReproServer(
         args.host, args.port, store=args.store, workers=args.workers,
-        window=args.window, budget_nodes=budget)
+        window=args.window, budget_nodes=budget,
+        auth_tokens=auth_tokens, quota=quota,
+        tenant_quotas=tenant_quotas or None,
+        store_max_bytes=args.store_max_bytes)
     host, port = server.address
     # Scripts (CI smoke, benchmarks) parse this line to find an
     # ephemeral --port 0 binding; keep its shape stable.
@@ -446,7 +505,8 @@ def cmd_query(args) -> int:
         raise SystemExit(
             "repro: use `repro ctl store-gc --max-bytes N` "
             "(store_gc is not addressable through `repro query`)")
-    needs_query = args.op not in ("stats", "ping", "shutdown")
+    needs_query = args.op not in ("stats", "metrics", "ping",
+                                  "shutdown")
     if needs_query and not args.query:
         raise SystemExit(
             f"repro: op {args.op!r} needs a query argument, e.g. "
@@ -495,7 +555,7 @@ def cmd_query(args) -> int:
     assert args.op in OPS
     try:
         client = ServiceClient(args.host, args.port,
-                               timeout=args.timeout)
+                               timeout=args.timeout, auth=args.auth)
     except OSError as error:
         raise SystemExit(
             f"repro: cannot connect to {args.host}:{args.port}: "
@@ -532,7 +592,8 @@ def cmd_ctl(args) -> int:
 
             try:
                 client = ServiceClient(args.host, args.port,
-                                       timeout=args.timeout)
+                                       timeout=args.timeout,
+                                       auth=args.auth)
             except OSError as error:
                 raise SystemExit(
                     f"repro: cannot connect to {args.host}:"
@@ -546,6 +607,28 @@ def cmd_ctl(args) -> int:
                     raise SystemExit(
                         f"repro: service error: {error}") from None
         print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if args.verb == "metrics":
+        # Fetch the Prometheus-style rendering from a running service
+        # and print the exposition text verbatim (pipe it to a file
+        # for node_exporter's textfile collector, or just read it).
+        from repro.service.client import ServiceClient, ServiceError
+
+        try:
+            client = ServiceClient(args.host, args.port,
+                                   timeout=args.timeout,
+                                   auth=args.auth)
+        except OSError as error:
+            raise SystemExit(
+                f"repro: cannot connect to {args.host}:{args.port}: "
+                f"{error} (is `repro serve` running?)") from None
+        with client:
+            try:
+                result = client.metrics()
+            except ServiceError as error:
+                raise SystemExit(
+                    f"repro: service error: {error}") from None
+        print(result["text"], end="")
         return 0
     if args.verb == "analyze":
         # Repo-invariant static analyzer.  Bad operands (outside the
@@ -717,6 +800,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default auto-policy compilation budget "
                               "for requests that do not override it "
                               "(default: the library default)")
+    p_serve.add_argument("--auth-tokens", metavar="TENANT=TOKEN,...",
+                         dest="auth_tokens", default=None,
+                         help="require per-client auth: comma-"
+                              "separated TENANT=TOKEN pairs; requests "
+                              "must carry a known token or are "
+                              "refused with code 'unauthorized'")
+    p_serve.add_argument("--quota", metavar="SPEC", default=None,
+                         help="default per-tenant quota, e.g. "
+                              "'rate=120,window=60,nodes=500000' "
+                              "(requests per window seconds + "
+                              "cumulative compile-budget in interned "
+                              "nodes; omitted keys are unlimited)")
+    p_serve.add_argument("--tenant-quota", metavar="TENANT:SPEC",
+                         dest="tenant_quota", action="append",
+                         help="override the default quota for one "
+                              "tenant (repeatable)")
+    p_serve.add_argument("--store-max-bytes", type=int,
+                         metavar="BYTES", dest="store_max_bytes",
+                         default=None,
+                         help="size-cap the tier-2 store: after each "
+                              "fresh compilation, evict oldest-"
+                              "accessed entries until the store fits "
+                              "(needs --store or "
+                              "$REPRO_CIRCUIT_STORE)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_query = sub.add_parser(
@@ -747,6 +854,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--method", default=None,
                          help="force an evaluation method "
                               "(default: auto)")
+    p_query.add_argument("--auth", metavar="TOKEN", default=None,
+                         help="tenant auth token (required when the "
+                              "server runs with --auth-tokens)")
     estimator_flags(p_query)
     p_query.set_defaults(fn=cmd_query)
 
@@ -769,7 +879,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_gc.add_argument("--port", type=int, default=DEFAULT_PORT)
     p_gc.add_argument("--timeout", type=float, default=60.0,
                       help="socket timeout in seconds (default 60)")
+    p_gc.add_argument("--auth", metavar="TOKEN", default=None,
+                      help="tenant auth token for the remote mode")
     p_gc.set_defaults(fn=cmd_ctl)
+
+    p_metrics = ctl_sub.add_parser(
+        "metrics",
+        help="print a running service's Prometheus-style metrics "
+             "text (the `metrics` op) verbatim")
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_metrics.add_argument("--timeout", type=float, default=60.0,
+                           help="socket timeout in seconds "
+                                "(default 60)")
+    p_metrics.add_argument("--auth", metavar="TOKEN", default=None,
+                           help="tenant auth token (required when "
+                                "the server runs with --auth-tokens)")
+    p_metrics.set_defaults(fn=cmd_ctl)
 
     p_analyze = ctl_sub.add_parser(
         "analyze",

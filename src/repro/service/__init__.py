@@ -9,6 +9,9 @@ The package splits along transport-independent seams:
 * ``server`` — ``ReproServer``, the ``socketserver`` embedding that
   routes protocol requests through the schedulers into the ``wmc``
   auto policy and two-tier circuit cache;
+* ``tenants`` — token authentication and per-tenant quotas (request
+  rate windows + cumulative compile budgets);
+* ``metrics`` — the Prometheus-style text rendering of ``stats``;
 * ``client`` — ``ServiceClient``, the library behind ``repro query``;
 * ``smoke`` — ``python -m repro.service.smoke``, the end-to-end check
   CI runs against a real server subprocess.
@@ -25,6 +28,7 @@ from repro.service.protocol import (
 )
 from repro.service.scheduler import CompilePool, SweepCoalescer
 from repro.service.server import ReproServer
+from repro.service.tenants import TenantQuota, TenantRegistry
 
 __all__ = [
     "CompilePool",
@@ -35,4 +39,6 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "SweepCoalescer",
+    "TenantQuota",
+    "TenantRegistry",
 ]

@@ -56,8 +56,14 @@ class ServiceClient:
     """One connection to a running ``ReproServer``."""
 
     def __init__(self, host: str = "127.0.0.1",
-                 port: int = DEFAULT_PORT, timeout: float = 60.0):
+                 port: int = DEFAULT_PORT, timeout: float = 60.0,
+                 auth: str | None = None):
         self.host, self.port = host, port
+        #: Tenant auth token sent on every request (``None`` for an
+        #: open server).  A wrong or missing token surfaces as a
+        #: ``ServiceError`` with code ``unauthorized``; a tripped
+        #: tenant quota as code ``quota-exceeded``.
+        self.auth = auth
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._file = self._sock.makefile("rwb")
@@ -75,7 +81,8 @@ class ServiceClient:
             self._next_id += 1
             request_id = self._next_id
             self._file.write(dump_line(
-                encode_request(op, payload, request_id)))
+                encode_request(op, payload, request_id,
+                               auth=self.auth)))
             self._file.flush()
             raw = self._file.readline()
         if not raw:
@@ -117,6 +124,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    def metrics(self) -> dict:
+        """The Prometheus-style rendering of ``stats``: a dict with
+        ``text`` (the exposition body) and ``content_type``."""
+        return self.call("metrics")
 
     def store_gc(self, max_bytes: int) -> dict:
         """Prune the service's tier-2 store down to ``max_bytes``

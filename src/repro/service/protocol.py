@@ -9,6 +9,10 @@ meant:
     {"v": 1, "id": 7, "op": "sweep",
      "params": {"query": "(R|S1)(S1|T)", "p": 4, "grid": 8}}
 
+A hardened server additionally wants a top-level ``auth`` token
+(``"auth": "s3cret"``) naming the calling tenant; it travels outside
+``params`` so per-op validation stays authentication-blind.
+
 Responses echo the id and either carry a result or a *structured*
 error (machine-readable ``code`` + human-readable ``message``):
 
@@ -47,12 +51,16 @@ MAX_REQUEST_BYTES = 1_048_576
 
 #: Every operation the server understands.
 OPS = ("compile", "evaluate", "evaluate_batch", "sweep", "estimate",
-       "sample", "top_k", "stats", "store_gc", "ping", "shutdown")
+       "sample", "top_k", "stats", "metrics", "store_gc", "ping",
+       "shutdown")
 
 #: Machine-readable error codes a response may carry.
+#: ``unauthorized``/``quota-exceeded`` are the multi-tenant refusals:
+#: a missing/unknown auth token, and a tripped per-tenant rate window
+#: or cumulative compile budget.
 ERROR_CODES = ("parse-error", "unsupported-version", "unknown-op",
                "bad-request", "bad-query", "budget-exceeded",
-               "internal")
+               "unauthorized", "quota-exceeded", "internal")
 
 
 class ProtocolError(Exception):
@@ -82,8 +90,12 @@ def dump_line(obj: dict) -> bytes:
 
 
 def parse_request(line: bytes | str):
-    """Validate one request line into ``(request_id, op, params)``.
+    """Validate one request line into
+    ``(request_id, op, params, auth)``.
 
+    ``auth`` is the optional top-level token string identifying the
+    caller (``None`` when absent) — it rides outside ``params`` so
+    per-op validation never has to know about authentication.
     Anything short of a well-formed, version-matched request raises
     ``ProtocolError`` with the most specific code available.
     """
@@ -129,19 +141,24 @@ def parse_request(line: bytes | str):
     params = obj.get("params", {})
     if not isinstance(params, dict):
         refuse("bad-request", "'params' must be an object")
-    stray = set(obj) - {"v", "id", "op", "params"}
+    auth = obj.get("auth")
+    if auth is not None and not isinstance(auth, str):
+        refuse("bad-request", "'auth' must be a token string")
+    stray = set(obj) - {"v", "id", "op", "params", "auth"}
     if stray:
         refuse("bad-request",
                f"unexpected request fields: {', '.join(sorted(stray))}")
-    return request_id, op, params
+    return request_id, op, params, auth
 
 
 def encode_request(op: str, params: dict | None = None,
-                   request_id=None) -> dict:
+                   request_id=None, auth: str | None = None) -> dict:
     """The client-side request object (call ``dump_line`` to frame)."""
     obj = {"v": PROTOCOL_VERSION, "op": op, "params": params or {}}
     if request_id is not None:
         obj["id"] = request_id
+    if auth is not None:
+        obj["auth"] = auth
     return obj
 
 

@@ -67,6 +67,16 @@ class CompilePool:
         job and receive the identical result — including a raised
         exception, which is re-raised in every waiter.
         """
+        return self.run_attributed(key, fn)[0]
+
+    def run_attributed(self, key, fn):
+        """``run``, but returns ``(result, leader)`` where ``leader``
+        says whether *this* caller launched the job rather than
+        piggybacking on an in-flight one.  The quota layer uses the
+        flag to charge a fresh compilation to exactly one tenant —
+        the one whose request caused the work — instead of every
+        waiter that happened to join it.
+        """
         with self._lock:
             job = self._inflight.get(key)
             leader = job is None
@@ -89,7 +99,7 @@ class CompilePool:
             job.done.wait()
         if job.error is not None:
             raise job.error
-        return job.result
+        return job.result, leader
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=False)

@@ -71,7 +71,9 @@ from repro.service.protocol import (
     take_int_list,
     take_str,
 )
+from repro.service.metrics import CONTENT_TYPE, render_metrics
 from repro.service.scheduler import CompilePool, SweepCoalescer
+from repro.service.tenants import ANONYMOUS, TenantQuota, TenantRegistry
 from repro.tid import wmc
 from repro.tid.database import TID, r_tuple, t_tuple
 from repro.tid.lineage import lineage
@@ -149,12 +151,30 @@ class ReproServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  store=None, workers: int = 4, window: float = 0.01,
                  budget_nodes: int | None = wmc.DEFAULT_BUDGET_NODES,
-                 workload_cache_size: int = 128):
+                 workload_cache_size: int = 128,
+                 auth_tokens: dict[str, str] | None = None,
+                 quota: TenantQuota | None = None,
+                 tenant_quotas: dict[str, TenantQuota] | None = None,
+                 store_max_bytes: int | None = None):
         if store is not None:
             wmc.set_circuit_store(store)
+        if store_max_bytes is not None and store_max_bytes < 0:
+            raise ValueError("store_max_bytes must be non-negative")
         self.default_budget = budget_nodes
         self.pool = CompilePool(workers)
         self.coalescer = SweepCoalescer(window)
+        #: Multi-tenant hardening: token auth plus per-tenant quotas
+        #: (``auth_tokens`` maps token -> tenant; ``quota`` is the
+        #: default limits record, ``tenant_quotas`` per-tenant
+        #: overrides).  With no tokens the service stays open and all
+        #: requests run as the anonymous tenant.
+        self.tenants = TenantRegistry(auth_tokens, quota,
+                                      tenant_quotas)
+        #: Size cap for the attached tier-2 store: after every fresh
+        #: compilation the store is pruned back under this many bytes
+        #: (oldest access time first) through ``CircuitStore.prune``.
+        self.store_max_bytes = store_max_bytes
+        self._tenant_local = threading.local()
         self._counter_lock = threading.Lock()
         self._requests = 0
         self._errors = 0
@@ -167,6 +187,11 @@ class ReproServer:
         self._early_stops = 0
         self._adaptive_estimates = 0
         self._samples_saved = 0
+        #: Automatic store eviction: prune passes that evicted
+        #: something, entries evicted, bytes reclaimed.
+        self._auto_prunes = 0
+        self._auto_evicted = 0
+        self._auto_reclaimed_bytes = 0
         self._workload_lock = threading.Lock()
         self._workloads: OrderedDict = OrderedDict()
         self._workload_cache_size = workload_cache_size
@@ -181,6 +206,7 @@ class ReproServer:
             "sample": self._op_sample,
             "top_k": self._op_top_k,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "store_gc": self._op_store_gc,
             "ping": self._op_ping,
             "shutdown": self._op_shutdown,
@@ -233,12 +259,21 @@ class ReproServer:
         """One request line to one response object (never raises)."""
         request_id = None
         try:
-            request_id, op, params = parse_request(line)
+            request_id, op, params, auth = parse_request(line)
         except ProtocolError as error:
             self._count(None, error=True)
             return error_response(error.request_id, error.code,
                                   error.message)
         try:
+            # Authentication and the rate window come before any work:
+            # an unauthorized or over-quota request costs one dict
+            # lookup, not a compilation.  The resolved tenant rides on
+            # a thread-local so the compile path (reached through the
+            # schedulers) can attribute fresh work without threading a
+            # tenant argument through every handler.
+            tenant = self.tenants.resolve(auth)
+            self._tenant_local.tenant = tenant
+            self.tenants.charge_request(tenant)
             self._count(op)
             return ok_response(request_id, op, self._dispatch[op](params))
         except ProtocolError as error:
@@ -291,11 +326,53 @@ class ReproServer:
         return workload
 
     def _compiled(self, workload: Workload,
-                  budget_nodes: int | None):
-        """The workload's circuit via the deduping compile pool."""
-        return self.pool.run(
-            (workload.fingerprint, budget_nodes),
-            lambda: wmc.compiled(workload.formula, budget_nodes))
+                  budget_nodes: int | None, build=None):
+        """The workload's circuit via the deduping compile pool, with
+        quota attribution and automatic store eviction.
+
+        A warm circuit costs nothing against anyone's quota; a fresh
+        one is charged (its interned-node count) to the tenant whose
+        request led the deduped job — joiners ride free, matching the
+        "one compilation for N requests" economics.  A tenant whose
+        cumulative compile budget is spent is refused *before* the
+        work is scheduled; the request that crosses the cap is charged
+        and refused after it (the circuit stays cached for everyone).
+        """
+        tenant = getattr(self._tenant_local, "tenant", ANONYMOUS)
+        fresh = not wmc.is_cached(workload.formula)
+        if fresh:
+            self.tenants.check_compile(tenant)
+        if build is None:
+            def build():
+                return wmc.compiled(workload.formula, budget_nodes)
+        circuit, leader = self.pool.run_attributed(
+            (workload.fingerprint, budget_nodes), build)
+        if leader and fresh:
+            self._autoprune_store()
+            self.tenants.charge_compile(tenant, circuit.size)
+        return circuit
+
+    def _autoprune_store(self) -> None:
+        """Size-capped automatic eviction: after a fresh compilation
+        lands in the tier-2 store, prune it back under
+        ``store_max_bytes`` (oldest access time first) so a long-lived
+        service cannot grow its disk footprint without bound."""
+        cap = self.store_max_bytes
+        if cap is None:
+            return
+        store = wmc.get_circuit_store()
+        if store is None or not hasattr(store, "prune"):
+            return
+        try:
+            report = store.prune(max_bytes=cap)
+        except OSError:
+            return  # a sick disk must not fail the compile request
+        reclaimed = (report.get("bytes_before", 0)
+                     - report.get("bytes_after", 0))
+        with self._counter_lock:
+            self._auto_prunes += 1
+            self._auto_evicted += report.get("removed", 0)
+            self._auto_reclaimed_bytes += max(reclaimed, 0)
 
     def _prewarm(self, workload: Workload,
                  budget_nodes: int | None) -> None:
@@ -332,11 +409,25 @@ class ReproServer:
                 "ops": dict(sorted(self._op_counts.items())),
                 "default_budget_nodes": self.default_budget,
                 "workloads_cached": len(self._workloads),
+                "auth_enabled": self.tenants.auth_enabled,
+                "store_max_bytes": self.store_max_bytes,
+                "auto_prunes": self._auto_prunes,
+                "auto_evicted": self._auto_evicted,
+                "auto_reclaimed_bytes": self._auto_reclaimed_bytes,
             }
         service.update(self.pool.stats())
         service.update(self.coalescer.stats())
         service.update(self._adaptive_stats())
-        return {"cache": wmc.cache_info(), "service": service}
+        return {"cache": wmc.cache_info(), "service": service,
+                "tenants": self.tenants.usage()}
+
+    def _op_metrics(self, params: dict) -> dict:
+        """The ``stats`` payload rendered in the Prometheus text
+        exposition format — a projection, never separate counters, so
+        the two surfaces cannot drift."""
+        check_fields(params, ())
+        return {"content_type": CONTENT_TYPE,
+                "text": render_metrics(self._op_stats({}))}
 
     def _op_store_gc(self, params: dict) -> dict:
         """Size-capped eviction on the attached tier-2 store
@@ -412,8 +503,7 @@ class ReproServer:
             return wmc.compiled(workload.formula, budget)
 
         try:
-            circuit = self.pool.run((workload.fingerprint, budget),
-                                    build)
+            circuit = self._compiled(workload, budget, build)
         except CompilationBudgetExceeded:
             raise ProtocolError(
                 "budget-exceeded",
@@ -543,6 +633,27 @@ class ReproServer:
             # cache makes the retried compile abort instantly, and the
             # request's own rng makes an explicit seed reproduce the
             # same estimates whether or not the request was coalesced.
+            sweep = wmc.probability_batch_auto(
+                workload.formula, weight_maps, budget_nodes=budget,
+                epsilon=epsilon, delta=delta, rng=seed,
+                numeric=numeric, estimator=estimator,
+                relative_error=relative)
+            values, engine, estimates = (sweep.values, sweep.engine,
+                                         sweep.estimates)
+            self._note_estimates(estimates or [], epsilon, delta)
+        except ProtocolError as error:
+            if error.code != "quota-exceeded":
+                raise
+            # A coalesced batch shares its leader's failure, but quota
+            # errors are per-tenant: the leader blowing *their*
+            # compile budget must not refuse every rider.  Retry
+            # uncoalesced under this request's own tenant — if this
+            # tenant is the exhausted one, the retry raises again,
+            # correctly attributed this time.
+            try:
+                self._compiled(workload, budget)
+            except CompilationBudgetExceeded:
+                pass  # the auto policy below degrades per request
             sweep = wmc.probability_batch_auto(
                 workload.formula, weight_maps, budget_nodes=budget,
                 epsilon=epsilon, delta=delta, rng=seed,

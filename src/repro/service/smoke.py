@@ -10,7 +10,12 @@ asserts the observable contract CI cares about:
   affecting later exact requests;
 * the ``stats`` endpoint shows warm-cache behaviour — one compilation,
   growing memory hits — after repeated queries;
-* shutdown-over-the-wire stops the server process.
+* the ``metrics`` op renders those counters as Prometheus exposition
+  text, through the client and through ``repro ctl metrics``;
+* shutdown-over-the-wire stops the server process;
+* a second, auth-enabled server refuses missing/bad tokens with the
+  ``unauthorized`` code, serves a good token, and attributes the
+  tenant's usage in ``stats``/``metrics``.
 
 Exit status 0 on success; any failed expectation raises and exits
 non-zero, so this file is directly usable as a CI job step.
@@ -40,6 +45,17 @@ def _cli_query(port: int, *argv: str) -> dict:
     _require(proc.returncode == 0, "CLI query exited non-zero",
              (command, proc.stdout, proc.stderr))
     return json.loads(proc.stdout)
+
+
+def _cli_metrics(port: int) -> str:
+    """``repro ctl metrics`` — raw Prometheus exposition text."""
+    command = [sys.executable, "-m", "repro", "ctl", "metrics",
+               "--port", str(port)]
+    proc = subprocess.run(command, capture_output=True, text=True,
+                          timeout=120)
+    _require(proc.returncode == 0, "ctl metrics exited non-zero",
+             (command, proc.stdout, proc.stderr))
+    return proc.stdout
 
 
 def main() -> int:
@@ -95,6 +111,17 @@ def main() -> int:
             _require(stats["cache"]["budget_aborts"] >= 1,
                      "budget abort counted", stats["cache"])
 
+            metrics = client.metrics()
+            _require(metrics["content_type"].startswith("text/plain"),
+                     "metrics content type", metrics["content_type"])
+            _require("# TYPE repro_requests_total counter"
+                     in metrics["text"]
+                     and 'repro_op_requests_total{op="evaluate"}'
+                     in metrics["text"]
+                     and "# TYPE repro_budget_aborts_total counter"
+                     in metrics["text"],
+                     "metrics exposition families", metrics["text"])
+
         # The same contract through the CLI client.
         result = _cli_query(port, "evaluate", QUERY, "--p", "4")
         _require(result["engine"] == "exact"
@@ -106,6 +133,12 @@ def main() -> int:
                  stats["cache"])
         _require(stats["service"]["requests"] >= 7,
                  "request counter advanced", stats["service"])
+
+        exposition = _cli_metrics(port)
+        _require("# TYPE repro_cache_compiles_total counter"
+                 in exposition
+                 and "repro_cache_compiles_total 1" in exposition,
+                 "repro ctl metrics exposition", exposition)
 
         _cli_query(port, "shutdown")
         server.wait(timeout=30)
@@ -119,5 +152,76 @@ def main() -> int:
             server.wait(timeout=10)
 
 
+def main_authenticated() -> int:
+    """The same server hardened with ``--auth-tokens``: bad tokens are
+    refused before any work, good tokens are served and attributed."""
+    token = "smoke-secret-token"
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--auth-tokens", f"smoke={token}",
+         "--quota", "rate=1000,window=60"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=dict(os.environ))
+    try:
+        banner = server.stdout.readline().strip()
+        _require(banner.startswith("repro service listening on"),
+                 "missing listen banner (auth)", banner)
+        port = int(banner.rsplit(":", 1)[1])
+        print(f"smoke: auth-enabled server up on port {port}")
+
+        from repro.service.client import ServiceClient, ServiceError
+
+        with ServiceClient(port=port, timeout=120) as anonymous:
+            try:
+                anonymous.ping()
+            except ServiceError as error:
+                _require(error.code == "unauthorized",
+                         "missing token error code", error.code)
+            else:
+                raise SystemExit(
+                    "service smoke FAILED: tokenless request served")
+
+        with ServiceClient(port=port, timeout=120,
+                           auth="wrong-token") as impostor:
+            try:
+                impostor.evaluate(QUERY, p=4)
+            except ServiceError as error:
+                _require(error.code == "unauthorized",
+                         "bad token error code", error.code)
+                _require("wrong-token" not in str(error),
+                         "error must not echo the token", str(error))
+            else:
+                raise SystemExit(
+                    "service smoke FAILED: bad token served")
+
+        with ServiceClient(port=port, timeout=120,
+                           auth=token) as client:
+            result = client.evaluate(QUERY, p=4)
+            _require(result["value"] == "4181/131072",
+                     "authenticated evaluate", result)
+            stats = client.stats()
+            _require(stats["service"]["auth_enabled"] is True,
+                     "auth flag surfaced in stats", stats["service"])
+            usage = stats["tenants"].get("smoke")
+            _require(usage is not None and usage["requests"] >= 2
+                     and usage["compiles"] == 1
+                     and usage["nodes_spent"] > 0,
+                     "per-tenant usage attributed", stats["tenants"])
+            metrics = client.metrics()
+            _require('repro_tenant_requests_total{tenant="smoke"}'
+                     in metrics["text"],
+                     "tenant labelled in metrics", metrics["text"])
+            client.shutdown()
+        server.wait(timeout=30)
+        print("service smoke: auth OK "
+              f"(tenant 'smoke': {usage['requests']} requests, "
+              f"{usage['nodes_spent']} nodes)")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main() or main_authenticated())

@@ -1,0 +1,284 @@
+"""Per-tenant authentication and quota accounting for the service.
+
+"Millions of users" starts with the server knowing *who* is asking and
+being able to say *no* cheaply.  This module is that layer, at stdlib
+scale (the shape follows kuberdock's rbac fixtures + system settings:
+a static token -> tenant map plus a small limits record, not a policy
+engine):
+
+* **Authentication** — an optional ``token -> tenant`` map.  When it
+  is empty the service is open and every request runs as the
+  ``"anonymous"`` tenant (the PR 4 behaviour, unchanged); when it is
+  populated, a request must carry a known ``auth`` token or it is
+  refused with the structured ``unauthorized`` error code before any
+  work happens.
+
+* **Quotas** — a ``TenantQuota`` record per tenant (one default plus
+  per-tenant overrides): a fixed-window request-rate cap and a
+  *cumulative* compile budget in interned circuit nodes.  The rate
+  window rolls over (a burst next minute is fine, a burst this minute
+  is not); the compile budget never resets — it is the tenant's total
+  entitlement to the exponential step, spent when their request causes
+  a circuit to become resident.  Both trip the ``quota-exceeded``
+  error code.  Enforcement is two-phase for compiles: ``check_compile``
+  fails fast *before* any work when the budget is already exhausted,
+  and ``charge_compile`` records the spend *after* a fresh compilation
+  — so the request that crosses the cap still pays for the work it
+  caused (the circuit stays cached for everyone), and every later
+  compile-needing request from that tenant is refused without burning
+  a worker.
+
+* **Usage accounting** — per-tenant lifetime counters (requests,
+  rate-limited refusals, compiles charged, nodes spent) surfaced in
+  the ``stats`` payload and the Prometheus-style ``metrics`` op, so
+  capacity planning reads off a scrape instead of a log dive.
+
+All state lives behind one lock; the clock is injectable so the
+window-rollover arithmetic is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from dataclasses import dataclass
+
+from repro.service.protocol import ProtocolError
+
+#: The tenant every request maps to while authentication is disabled.
+ANONYMOUS = "anonymous"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits for one tenant; ``None`` fields are unlimited.
+
+    ``rate`` caps requests per fixed ``window`` seconds (the window
+    rolls over: the counter resets ``window`` seconds after the first
+    request of the current window).  ``compile_nodes`` is a cumulative
+    cap on interned circuit nodes the tenant's requests may cause to
+    be compiled — the exponential step is the resource worth metering,
+    and node counts are its honest unit.
+    """
+
+    rate: int | None = None
+    window: float = 60.0
+    compile_nodes: int | None = None
+
+    def __post_init__(self):
+        if self.rate is not None and self.rate < 1:
+            raise ValueError("quota rate must be at least 1")
+        if self.window <= 0:
+            raise ValueError("quota window must be positive")
+        if self.compile_nodes is not None and self.compile_nodes < 0:
+            raise ValueError("quota compile_nodes must be non-negative")
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantQuota":
+        """``"rate=120,window=60,nodes=500000"`` -> ``TenantQuota``.
+
+        Every key is optional; unknown keys and malformed numbers
+        raise ``ValueError`` with the offending piece named (the CLI
+        turns that into a friendly ``SystemExit``).
+        """
+        fields: dict = {}
+        for piece in text.split(","):
+            piece = piece.strip()
+            if not piece:
+                continue
+            key, sep, value = piece.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(
+                    f"quota piece {piece!r} is not key=value")
+            if key not in ("rate", "window", "nodes"):
+                raise ValueError(
+                    f"unknown quota key {key!r} "
+                    f"(known: rate, window, nodes)")
+            try:
+                if key == "rate":
+                    fields["rate"] = int(value)
+                elif key == "window":
+                    fields["window"] = float(value)
+                else:
+                    fields["compile_nodes"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad quota value {value!r} for {key!r}") from None
+        return cls(**fields)
+
+    def as_dict(self) -> dict:
+        return {"rate": self.rate, "window": self.window,
+                "compile_nodes": self.compile_nodes}
+
+
+class _TenantState:
+    """Mutable per-tenant accounting (guarded by the registry lock)."""
+
+    __slots__ = ("window_start", "window_count", "nodes_spent",
+                 "requests", "rate_limited", "compiles")
+
+    def __init__(self):
+        self.window_start = None
+        self.window_count = 0
+        self.nodes_spent = 0
+        self.requests = 0
+        self.rate_limited = 0
+        self.compiles = 0
+
+
+class TenantRegistry:
+    """Token authentication plus per-tenant quota enforcement.
+
+    ``tokens`` maps auth token -> tenant name (empty/None = open
+    service, everything runs as ``ANONYMOUS``).  ``quota`` is the
+    default ``TenantQuota`` applied to every tenant; ``overrides``
+    maps tenant name -> a ``TenantQuota`` replacing the default for
+    that tenant.  ``clock`` must be a monotonic ``() -> float``.
+    """
+
+    def __init__(self, tokens: dict[str, str] | None = None,
+                 quota: TenantQuota | None = None,
+                 overrides: dict[str, TenantQuota] | None = None,
+                 clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._tokens = dict(tokens or {})
+        self._overrides = dict(overrides or {})
+        self.default_quota = quota
+        self._clock = clock
+        self._states: dict[str, _TenantState] = {}
+
+    @property
+    def auth_enabled(self) -> bool:
+        with self._lock:
+            return bool(self._tokens)
+
+    def quota_for(self, tenant: str) -> TenantQuota | None:
+        with self._lock:
+            return self._overrides.get(tenant, self.default_quota)
+
+    # ------------------------------------------------------------------
+    # Authentication
+    # ------------------------------------------------------------------
+    def resolve(self, token: str | None) -> str:
+        """Token -> tenant name, or ``unauthorized``.
+
+        With authentication disabled every request (token or not) is
+        ``ANONYMOUS``; with it enabled a missing or unknown token is
+        refused.  The error message never echoes the attempted token —
+        near-miss secrets do not belong in logs.
+        """
+        with self._lock:
+            if not self._tokens:
+                return ANONYMOUS
+            if token is None:
+                raise ProtocolError(
+                    "unauthorized",
+                    "this service requires an auth token "
+                    "(send a top-level 'auth' field)")
+            tenant = self._tokens.get(token)
+        if tenant is None:
+            raise ProtocolError("unauthorized",
+                                "unknown auth token")
+        return tenant
+
+    # ------------------------------------------------------------------
+    # Quota enforcement
+    # ------------------------------------------------------------------
+    def _state(self, tenant: str) -> _TenantState:
+        """Caller holds ``_lock``."""
+        state = self._states.get(tenant)
+        if state is None:
+            state = self._states[tenant] = _TenantState()
+        return state
+
+    def charge_request(self, tenant: str) -> None:
+        """Count one request against the tenant's rate window.
+
+        The fixed window starts at the first request it admits and
+        rolls over ``window`` seconds later; a request past ``rate``
+        within the open window is refused (and counted as
+        ``rate_limited``) without resetting the window.
+        """
+        quota = self.quota_for(tenant)
+        with self._lock:
+            state = self._state(tenant)
+            state.requests += 1
+            if quota is None or quota.rate is None:
+                return
+            now = self._clock()
+            if (state.window_start is None
+                    or now - state.window_start >= quota.window):
+                state.window_start = now
+                state.window_count = 0
+            if state.window_count >= quota.rate:
+                state.rate_limited += 1
+                retry = quota.window - (now - state.window_start)
+                raise ProtocolError(
+                    "quota-exceeded",
+                    f"tenant {tenant!r} exceeded {quota.rate} "
+                    f"requests per {quota.window:g}s window; retry in "
+                    f"{max(retry, 0):.1f}s")
+            state.window_count += 1
+
+    def check_compile(self, tenant: str) -> None:
+        """Fail fast when the tenant's compile budget is already spent
+        (before any compilation work is scheduled)."""
+        quota = self.quota_for(tenant)
+        if quota is None or quota.compile_nodes is None:
+            return
+        with self._lock:
+            spent = self._state(tenant).nodes_spent
+        if spent >= quota.compile_nodes:
+            raise ProtocolError(
+                "quota-exceeded",
+                f"tenant {tenant!r} has spent {spent} of "
+                f"{quota.compile_nodes} compile-budget nodes; "
+                f"estimate-only ops (estimate, stats, metrics) "
+                f"remain available")
+
+    def charge_compile(self, tenant: str, nodes: int) -> None:
+        """Record ``nodes`` freshly-compiled nodes against the
+        tenant's cumulative budget.
+
+        The spend is recorded *before* the over-budget check: the
+        work already happened, so the request that crosses the cap is
+        refused but still pays — and every later ``check_compile``
+        fails fast on the recorded total.
+        """
+        quota = self.quota_for(tenant)
+        with self._lock:
+            state = self._state(tenant)
+            state.compiles += 1
+            state.nodes_spent += nodes
+            spent = state.nodes_spent
+        if quota is not None and quota.compile_nodes is not None \
+                and spent > quota.compile_nodes:
+            raise ProtocolError(
+                "quota-exceeded",
+                f"tenant {tenant!r} crossed its compile budget: "
+                f"{spent} nodes spent of {quota.compile_nodes} "
+                f"(this request's compilation is cached but further "
+                f"compilation is refused)")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def usage(self) -> dict:
+        """Per-tenant counters for ``stats``/``metrics``, sorted by
+        tenant name so the payload is deterministic."""
+        with self._lock:
+            snapshot = sorted(self._states.items())
+            out = {}
+            for tenant, state in snapshot:
+                quota = self._overrides.get(tenant, self.default_quota)
+                out[tenant] = {
+                    "requests": state.requests,
+                    "rate_limited": state.rate_limited,
+                    "compiles": state.compiles,
+                    "nodes_spent": state.nodes_spent,
+                    "quota": (quota.as_dict()
+                              if quota is not None else None),
+                }
+            return out

@@ -693,3 +693,238 @@ class TestAdaptiveService:
         with pytest.raises(ServiceError) as excinfo:
             client.estimate(QUERY, p=4, relative_error="0")
         assert excinfo.value.code == "bad-request"
+
+
+class TestAuthE2E:
+    """Token authentication over a real socket: refused before any
+    work, attributed per tenant when it passes."""
+
+    TOKENS = {"tok-alice": "alice", "tok-bob": "bob"}
+
+    @pytest.fixture()
+    def auth_server(self):
+        with ReproServer(port=0, window=0.02,
+                         auth_tokens=dict(self.TOKENS)) as srv:
+            yield srv
+
+    def test_missing_token_is_unauthorized(self, auth_server):
+        with ServiceClient(*auth_server.address) as c:
+            with pytest.raises(ServiceError) as excinfo:
+                c.ping()
+        assert excinfo.value.code == "unauthorized"
+
+    def test_unknown_token_is_unauthorized(self, auth_server):
+        with ServiceClient(*auth_server.address,
+                           auth="tok-wrong") as c:
+            with pytest.raises(ServiceError) as excinfo:
+                c.evaluate(QUERY, p=4)
+        assert excinfo.value.code == "unauthorized"
+        # Near-miss secrets must not be echoed back.
+        assert "tok-wrong" not in str(excinfo.value)
+
+    def test_good_token_is_served_and_attributed(self, auth_server):
+        with ServiceClient(*auth_server.address,
+                           auth="tok-alice") as c:
+            result = c.evaluate(QUERY, p=4)
+            assert result["engine"] == "exact"
+            stats = c.stats()
+        assert stats["service"]["auth_enabled"] is True
+        alice = stats["tenants"]["alice"]
+        assert alice["requests"] >= 2
+        assert alice["compiles"] == 1
+        assert alice["nodes_spent"] > 0
+
+    def test_tenants_are_accounted_separately(self, auth_server):
+        with ServiceClient(*auth_server.address,
+                           auth="tok-alice") as alice:
+            alice.evaluate(QUERY, p=4)
+        with ServiceClient(*auth_server.address,
+                           auth="tok-bob") as bob:
+            # Bob rides Alice's warm circuit: no compile charged.
+            bob.evaluate(QUERY, p=4)
+            stats = bob.stats()
+        assert stats["tenants"]["alice"]["compiles"] == 1
+        assert stats["tenants"]["bob"]["compiles"] == 0
+        assert stats["tenants"]["bob"]["requests"] >= 1
+
+    def test_refused_requests_still_count(self, auth_server):
+        with ServiceClient(*auth_server.address) as nobody:
+            with pytest.raises(ServiceError):
+                nobody.ping()
+        with ServiceClient(*auth_server.address,
+                           auth="tok-alice") as c:
+            stats = c.stats()
+        # The refusal happened before tenant resolution, so it shows
+        # up in the error counter, not under any tenant.
+        assert stats["service"]["errors"] >= 1
+
+    def test_metrics_text_labels_the_tenant(self, auth_server):
+        with ServiceClient(*auth_server.address,
+                           auth="tok-alice") as c:
+            c.ping()
+            metrics = c.metrics()
+        assert metrics["content_type"].startswith("text/plain")
+        assert 'repro_tenant_requests_total{tenant="alice"}' \
+            in metrics["text"]
+
+
+class TestQuotaE2E:
+    """Quota refusals over a real socket, with the structured
+    ``quota-exceeded`` code."""
+
+    def test_rate_window_trips(self):
+        from repro.service.tenants import TenantQuota
+
+        quota = TenantQuota(rate=5, window=3600.0)
+        with ReproServer(port=0, auth_tokens={"t": "alice"},
+                         quota=quota) as server:
+            with ServiceClient(*server.address, auth="t") as c:
+                for _ in range(5):
+                    c.ping()
+                with pytest.raises(ServiceError) as excinfo:
+                    c.ping()
+                assert excinfo.value.code == "quota-exceeded"
+                assert "retry" in str(excinfo.value)
+
+    def test_compile_budget_exhausts_mid_batch(self):
+        """p=4 compiles under the budget; the p=5 circuit crosses it
+        mid-``evaluate_batch`` — the request is refused but the paid
+        circuits stay cached for everyone."""
+        from repro.service.tenants import TenantQuota
+
+        _, _, formula = workload(p=4)
+        p4_nodes = wmc.compiled(formula).size
+        wmc.clear_circuit_cache()
+        quota = TenantQuota(compile_nodes=p4_nodes + 1)
+        with ReproServer(port=0, auth_tokens={"t": "alice"},
+                         quota=quota) as server:
+            with ServiceClient(*server.address, auth="t") as c:
+                with pytest.raises(ServiceError) as excinfo:
+                    c.evaluate_batch(QUERY, ps=[4, 5])
+                assert excinfo.value.code == "quota-exceeded"
+                # The tenant is exhausted, but the p=4 circuit they
+                # paid for is warm — and warm circuits are free.
+                result = c.evaluate(QUERY, p=4)
+                assert result["engine"] == "exact"
+                # Fresh compilation is refused fast...
+                with pytest.raises(ServiceError) as excinfo:
+                    c.evaluate(QUERY, p=6)
+                assert excinfo.value.code == "quota-exceeded"
+                # ...while the estimate-only path stays available.
+                estimate = c.estimate(QUERY, p=6, epsilon="1/4",
+                                      delta="1/4", seed=7)
+                assert estimate["estimate"]["samples"] > 0
+                stats = c.stats()
+        spent = stats["tenants"]["alice"]["nodes_spent"]
+        assert spent > p4_nodes + 1  # the crossing compile was paid
+
+    def test_anonymous_tenant_is_quota_bound_too(self):
+        from repro.service.tenants import TenantQuota
+
+        quota = TenantQuota(rate=3, window=3600.0)
+        with ReproServer(port=0, quota=quota) as server:
+            with ServiceClient(*server.address) as c:
+                for _ in range(3):
+                    c.ping()
+                with pytest.raises(ServiceError) as excinfo:
+                    c.ping()
+                assert excinfo.value.code == "quota-exceeded"
+
+
+class TestMetricsOp:
+    def test_metrics_projects_the_stats_payload(self, client):
+        client.evaluate(QUERY, p=4)
+        metrics = client.metrics()
+        assert metrics["content_type"] == (
+            "text/plain; version=0.0.4; charset=utf-8")
+        text = metrics["text"]
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_op_requests_total{op="evaluate"} 1' in text
+        assert "repro_cache_compiles_total 1" in text
+        assert 'repro_tenant_requests_total{tenant="anonymous"}' \
+            in text
+
+    def test_metrics_rejects_params(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("metrics", verbose=True)
+        assert excinfo.value.code == "bad-request"
+
+    def test_ctl_metrics_cli(self, server, capsys):
+        host, port = server.address
+        assert main(["ctl", "metrics", "--host", host,
+                     "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_requests_total counter" in out
+        assert out.endswith("\n")
+
+
+class TestAutoEviction:
+    def test_fresh_compiles_prune_the_store_to_the_cap(self, tmp_path):
+        with ReproServer(port=0, store=str(tmp_path),
+                         store_max_bytes=0) as server:
+            with ServiceClient(*server.address) as c:
+                c.compile(QUERY, p=4)
+                stats = c.stats()
+        service = stats["service"]
+        assert service["store_max_bytes"] == 0
+        assert service["auto_prunes"] >= 1
+        assert service["auto_evicted"] >= 1
+        assert service["auto_reclaimed_bytes"] > 0
+
+    def test_uncapped_server_never_auto_prunes(self, tmp_path):
+        with ReproServer(port=0, store=str(tmp_path)) as server:
+            with ServiceClient(*server.address) as c:
+                c.compile(QUERY, p=4)
+                stats = c.stats()
+        assert stats["service"]["store_max_bytes"] is None
+        assert stats["service"]["auto_prunes"] == 0
+
+    def test_generous_cap_keeps_the_hot_circuit(self, tmp_path):
+        with ReproServer(port=0, store=str(tmp_path),
+                         store_max_bytes=10_000_000) as server:
+            with ServiceClient(*server.address) as c:
+                c.compile(QUERY, p=4)
+                stats = c.stats()
+        # The prune ran but evicted nothing: the store fits the cap.
+        assert stats["service"]["auto_prunes"] >= 1
+        assert stats["service"]["auto_evicted"] == 0
+
+    def test_serve_flag_validates_store_max_bytes(self):
+        with pytest.raises(SystemExit, match="store-max-bytes"):
+            main(["serve", "--store-max-bytes", "-1"])
+
+
+class TestServeHardeningFlags:
+    """The `repro serve` hardening flags fail friendly, not with a
+    traceback — nothing here boots a server."""
+
+    def test_auth_tokens_malformed_piece(self):
+        with pytest.raises(SystemExit, match="TENANT=TOKEN"):
+            main(["serve", "--auth-tokens", "alice"])
+
+    def test_auth_tokens_duplicate_token(self):
+        with pytest.raises(SystemExit, match="unique"):
+            main(["serve", "--auth-tokens", "alice=T1,bob=T1"])
+
+    def test_auth_tokens_empty(self):
+        with pytest.raises(SystemExit, match="no tenants"):
+            main(["serve", "--auth-tokens", ", ,"])
+
+    def test_quota_spec_rejected_with_flag_named(self):
+        with pytest.raises(SystemExit, match="--quota.*bogus"):
+            main(["serve", "--quota", "bogus=1"])
+        with pytest.raises(SystemExit, match="--quota.*rate"):
+            main(["serve", "--quota", "rate=abc"])
+
+    def test_tenant_quota_needs_tenant_prefix(self):
+        with pytest.raises(SystemExit, match="TENANT:rate"):
+            main(["serve", "--tenant-quota", "rate=5"])
+
+    def test_tenant_quota_spec_errors_name_the_flag(self):
+        with pytest.raises(SystemExit, match="--tenant-quota"):
+            main(["serve", "--tenant-quota", "alice:rate=0"])
+
+    def test_store_max_bytes_needs_a_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CIRCUIT_STORE", raising=False)
+        with pytest.raises(SystemExit, match="needs a store"):
+            main(["serve", "--store-max-bytes", "1000"])
