@@ -19,7 +19,12 @@ Reported and gated:
 * **enforcement** — while the fleet hammers the service, a tokenless
   probe must be refused ``unauthorized`` and a rate-capped tenant
   must trip ``quota-exceeded``; hardening that evaporates under load
-  is no hardening at all.
+  is no hardening at all;
+* **stage breakdown** — the server's request-tracing histograms,
+  reduced to per-``(op, stage)`` p50/p99, land in the artifact, so a
+  p99 regression can be read against *which* stage (queue wait,
+  compile, kernel) moved; a sample of raw span trees is exported as
+  ``TRACE_sample.jsonl`` next to the JSON.
 
 The workload is deterministic (per-worker seeded RNGs, fixed op mix)
 so run-to-run variance is the runner's, not the harness's.  Run
@@ -27,13 +32,18 @@ so run-to-run variance is the runner's, not the harness's.  Run
 and uploads the emitted ``BENCH_load.json``.
 """
 
+import json
+import os
 import statistics
 import sys
 import threading
 import time
 
+from pathlib import Path
+
 import _bench_io
 
+from repro.cli import _hist_quantile_ms
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.server import ReproServer
 from repro.service.tenants import TenantQuota
@@ -161,6 +171,7 @@ def main(argv=None) -> int:
         with ServiceClient(*server.address, timeout=300,
                            auth=LOAD_TOKEN) as client:
             stats = client.stats()
+            trace_sample = client.trace(limit=32)["traces"]
 
     failures = [e for e in errors if e]
     if failures:
@@ -182,6 +193,22 @@ def main(argv=None) -> int:
     p50 = quantile_ms(latencies, 0.50)
     p99 = quantile_ms(latencies, 0.99)
 
+    # Server-side stage breakdown from the tracing histograms: the
+    # client-observed p99 above says *that* something is slow, this
+    # says *where* the time went.  Quantiles are bucket upper bounds.
+    stage_breakdown = {}
+    histograms = (stats.get("tracing") or {}).get("histograms") or {}
+    for op, stages in sorted(histograms.items()):
+        for stage, hist in sorted(stages.items()):
+            count = hist.get("count", 0)
+            buckets = hist.get("buckets") or {}
+            stage_breakdown.setdefault(op, {})[stage] = {
+                "count": count,
+                "sum_ms": hist.get("sum_ms", 0.0),
+                "p50_ms": _hist_quantile_ms(buckets, count, 0.50),
+                "p99_ms": _hist_quantile_ms(buckets, count, 0.99),
+            }
+
     print(f"closed-loop load: {workers} workers x {per_worker} "
           f"requests in {duration:.2f}s")
     print(f"  throughput  {throughput:8.1f} req/s "
@@ -192,6 +219,15 @@ def main(argv=None) -> int:
         print(f"  {op:<15} {row['requests']:4d} requests   "
               f"p50 {row['p50_ms']:7.2f}ms   "
               f"p99 {row['p99_ms']:7.2f}ms")
+    for op, stages in stage_breakdown.items():
+        for stage, row in stages.items():
+            p50_s = ("-" if row["p50_ms"] is None
+                     else f"{row['p50_ms']:7.2f}ms")
+            p99_s = ("-" if row["p99_ms"] is None
+                     else f"{row['p99_ms']:7.2f}ms")
+            print(f"  stage {op:>9}/{stage:<10} "
+                  f"{row['count']:5d} spans   p50 {p50_s:>9}   "
+                  f"p99 {p99_s:>9}")
     print(f"  enforcement unauthorized_refused="
           f"{enforcement['unauthorized_refused']} "
           f"quota_tripped={enforcement['quota_tripped']}")
@@ -217,10 +253,20 @@ def main(argv=None) -> int:
         "p99_ceiling_ms": p99_ceiling_ms,
         "mean_ms": round(statistics.fmean(latencies) * 1e3, 3),
         "per_op": per_op,
+        "stages": stage_breakdown,
         "enforcement": enforcement,
         "compiles": stats["cache"]["compiles"],
         "ok": bool(ok),
     })
+    sample_path = Path(os.environ.get("BENCH_JSON_DIR") or ".")
+    sample_path.mkdir(parents=True, exist_ok=True)
+    sample_path = sample_path / "TRACE_sample.jsonl"
+    sample_path.write_text(
+        "".join(json.dumps(p, separators=(",", ":"), sort_keys=True)
+                + "\n" for p in reversed(trace_sample)),
+        encoding="utf-8")
+    print(f"trace sample: {sample_path} "
+          f"({len(trace_sample)} traces)", file=sys.stderr)
     if not ok:
         print("load gate failed: p99 over ceiling, throughput under "
               "floor, or enforcement did not hold under load",

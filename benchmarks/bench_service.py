@@ -16,6 +16,13 @@ concurrent same-fingerprint sweep requests trigger exactly one
 compilation and one batched pass (asserted via the ``stats``
 endpoint).
 
+Request tracing rides every warm request, so this benchmark also
+guards its zero-cost-when-disabled claim: the same workload against
+a ``tracing=False`` server (where every ``span()`` call returns the
+shared no-op span) must be at least as fast as the traced run, up to
+scheduler jitter — if the disabled path ever shows real overhead,
+the instrumentation has grown an allocation it must not have.
+
 Run ``python benchmarks/bench_service.py [--quick]``; CI uses
 ``--quick`` and uploads the emitted ``BENCH_service.json``.
 """
@@ -142,6 +149,19 @@ def main(argv=None) -> int:
         coalesce_ok, coalesce = check_coalescing(server, p, grid,
                                                  clients)
 
+    # The zero-cost-when-disabled claim: the identical warm workload
+    # with tracing off must not be slower than the traced run (up to
+    # jitter) — the no-op span path is one ContextVar read.
+    wmc.clear_circuit_cache()
+    wmc.set_circuit_store(None)
+    with ReproServer(port=0, window=0.25, tracing=False) as untraced:
+        bare = time_warm_service(untraced, p, grid, warm_requests)
+        bare_ms = statistics.median(bare) * 1e3
+    overhead_pct = (warm_ms - bare_ms) / bare_ms * 100.0
+    # Millisecond-scale medians on shared runners jitter; the slack
+    # keeps the gate about real overhead, not scheduler noise.
+    tracing_ok = bare_ms <= warm_ms * 1.05 + 0.25
+
     speedup = cold_ms / warm_ms
     target = 5.0
     print(f"repeated {grid}-vector sweep over B_{p}(u, v):")
@@ -154,8 +174,11 @@ def main(argv=None) -> int:
     print(f"  coalescing   {coalesce['clients']} concurrent sweeps -> "
           f"{coalesce['compiles']} compilation, "
           f"{coalesce['batch_passes']} batched pass")
+    print(f"  tracing      {warm_ms:8.3f}ms traced vs "
+          f"{bare_ms:8.3f}ms untraced "
+          f"({overhead_pct:+.1f}% overhead)")
 
-    ok = speedup >= target and coalesce_ok
+    ok = speedup >= target and coalesce_ok and tracing_ok
     _bench_io.emit("service", {
         "quick": quick,
         "p": p, "grid": grid,
@@ -163,6 +186,8 @@ def main(argv=None) -> int:
         "warm_requests": warm_requests,
         "cold_median_ms": round(cold_ms, 2),
         "warm_median_ms": round(warm_ms, 3),
+        "untraced_median_ms": round(bare_ms, 3),
+        "tracing_overhead_pct": round(overhead_pct, 1),
         "speedup": round(speedup, 1),
         "speedup_target": target,
         "coalescing": coalesce,
@@ -170,7 +195,8 @@ def main(argv=None) -> int:
     })
     if not ok:
         print("perf regression: warm service must beat the cold CLI "
-              f">={target}x and coalesce concurrent sweeps",
+              f">={target}x, coalesce concurrent sweeps, and keep "
+              f"disabled tracing free",
               file=sys.stderr)
         return 1
     print("ok: the warm service amortizes start-up and compilation "

@@ -45,6 +45,7 @@ from repro.booleans.circuit import (
 )
 from repro.booleans.cnf import CNF
 from repro.booleans.tape import Tape
+from repro import obs
 
 #: Fingerprint domain separator: bump when the canonical encoding (not
 #: the circuit format — that is versioned in its own header) changes.
@@ -121,11 +122,17 @@ class CircuitStore:
         return self.load(cnf_fingerprint(formula))
 
     def load(self, key: str) -> Circuit | None:
+        with obs.span("store-read", kind="circuit") as sp:
+            return self._load(key, sp)
+
+    def _load(self, key: str, sp) -> Circuit | None:
         path = self.path_for(key)
         try:
             data = path.read_bytes()
         except OSError:
+            sp.tag(hit=False)
             return None
+        sp.tag(hit=True, bytes=len(data))
         try:
             return Circuit.from_bytes(data)
         except UnsupportedVersionError:
@@ -152,7 +159,8 @@ class CircuitStore:
     def save(self, key: str, circuit: Circuit) -> Path:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_bytes(path, circuit.to_bytes())
+        with obs.span("store-write", kind="circuit"):
+            atomic_write_bytes(path, circuit.to_bytes())
         return path
 
     # ------------------------------------------------------------------
@@ -174,11 +182,17 @@ class CircuitStore:
         return self.load_tape(cnf_fingerprint(formula))
 
     def load_tape(self, key: str) -> Tape | None:
+        with obs.span("store-read", kind="tape") as sp:
+            return self._load_tape(key, sp)
+
+    def _load_tape(self, key: str, sp) -> Tape | None:
         path = self.tape_path_for(key)
         try:
             data = path.read_bytes()
         except OSError:
+            sp.tag(hit=False)
             return None
+        sp.tag(hit=True, bytes=len(data))
         try:
             return Tape.from_bytes(data)
         except UnsupportedVersionError:
@@ -196,7 +210,8 @@ class CircuitStore:
     def save_tape(self, key: str, tape: Tape) -> Path:
         path = self.tape_path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_bytes(path, tape.to_bytes())
+        with obs.span("store-write", kind="tape"):
+            atomic_write_bytes(path, tape.to_bytes())
         return path
 
     # ------------------------------------------------------------------
@@ -212,6 +227,10 @@ class CircuitStore:
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
+        with obs.span("store-prune", max_bytes=max_bytes):
+            return self._prune(max_bytes)
+
+    def _prune(self, max_bytes: int) -> dict:
         entries = []
         for path in sorted(self.root.glob("??/*")):
             if path.suffix not in (SUFFIX, TAPE_SUFFIX):

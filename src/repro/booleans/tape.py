@@ -63,6 +63,7 @@ from repro.booleans.circuit import (
     UnsupportedVersionError, WeightOverlay, decode_token, encode_token,
     make_lookup,
 )
+from repro import obs
 
 try:  # optional accelerator only — every kernel has a stdlib fallback
     import numpy as _np
@@ -248,14 +249,16 @@ class Tape:
         when importable, stdlib arrays otherwise — and rejects
         non-finite weights with a ``ValueError`` naming the lane.
         """
-        if numeric == "exact":
-            return self._eval_exact(weight_specs, default)
-        if numeric == "float":
-            if _np is not None:
-                return self._eval_numpy(weight_specs, default)
-            return self._eval_float_fallback(weight_specs, default)
-        raise ValueError(
-            f"numeric must be 'exact' or 'float', got {numeric!r}")
+        with obs.span("kernel", numeric=numeric,
+                      lanes=len(weight_specs)):
+            if numeric == "exact":
+                return self._eval_exact(weight_specs, default)
+            if numeric == "float":
+                if _np is not None:
+                    return self._eval_numpy(weight_specs, default)
+                return self._eval_float_fallback(weight_specs, default)
+            raise ValueError(
+                f"numeric must be 'exact' or 'float', got {numeric!r}")
 
     def _float_rows(self, weight_specs, default) -> list:
         """Per-slot float rows, conversion-memoized by object identity.
@@ -753,7 +756,8 @@ def tape_for_circuit(circuit: Circuit) -> Tape:
         if tape is not None:
             _STATS["tape_hits"] += 1
             return tape
-    tape = flatten_circuit(circuit)
+    with obs.span("flatten"):
+        tape = flatten_circuit(circuit)
     with _LOCK:
         if circuit._tape is None:
             circuit._tape = tape

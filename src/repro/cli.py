@@ -473,6 +473,10 @@ def cmd_serve(args) -> int:
                 f"TENANT:rate=...,window=...,nodes=...")
         tenant_quotas[tenant.strip()] = _parse_quota(
             body, "--tenant-quota")
+    if args.slow_ms is not None and args.slow_ms < 0:
+        raise SystemExit("repro: --slow-ms must be non-negative")
+    if args.trace_buffer < 1:
+        raise SystemExit("repro: --trace-buffer must be at least 1")
     budget = args.budget if args.budget is not None \
         else DEFAULT_BUDGET_NODES
     server = ReproServer(
@@ -480,7 +484,9 @@ def cmd_serve(args) -> int:
         window=args.window, budget_nodes=budget,
         auth_tokens=auth_tokens, quota=quota,
         tenant_quotas=tenant_quotas or None,
-        store_max_bytes=args.store_max_bytes)
+        store_max_bytes=args.store_max_bytes,
+        tracing=not args.no_tracing, slow_ms=args.slow_ms,
+        trace_buffer=args.trace_buffer, trace_dir=args.trace_dir)
     host, port = server.address
     # Scripts (CI smoke, benchmarks) parse this line to find an
     # ephemeral --port 0 binding; keep its shape stable.
@@ -505,7 +511,7 @@ def cmd_query(args) -> int:
         raise SystemExit(
             "repro: use `repro ctl store-gc --max-bytes N` "
             "(store_gc is not addressable through `repro query`)")
-    needs_query = args.op not in ("stats", "metrics", "ping",
+    needs_query = args.op not in ("stats", "metrics", "trace", "ping",
                                   "shutdown")
     if needs_query and not args.query:
         raise SystemExit(
@@ -573,9 +579,84 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _service_client(args):
+    """Connect to the running service named by ``--host``/``--port``
+    or exit with the usual friendly hint."""
+    from repro.service.client import ServiceClient
+
+    try:
+        return ServiceClient(args.host, args.port,
+                             timeout=args.timeout, auth=args.auth)
+    except OSError as error:
+        raise SystemExit(
+            f"repro: cannot connect to {args.host}:{args.port}: "
+            f"{error} (is `repro serve` running?)") from None
+
+
+def _hist_quantile_ms(buckets: dict, count: int, q: float):
+    """Upper-bound estimate of the ``q`` quantile in milliseconds
+    from cumulative histogram buckets (ladder order, ``le`` label
+    strings as keys).  ``None`` when the mass sits past the ladder
+    (+Inf) or the series is empty."""
+    if count <= 0:
+        return None
+    target = q * count
+    for le, cumulative in buckets.items():
+        if cumulative >= target and le != "+Inf":
+            return float(le) * 1000.0
+    return None
+
+
 def cmd_ctl(args) -> int:
     import json
 
+    if args.verb == "trace":
+        from repro.service.client import ServiceError
+
+        with _service_client(args) as client:
+            try:
+                result = client.trace(id=args.id, limit=args.limit,
+                                      slow=args.slow or None)
+            except ServiceError as error:
+                raise SystemExit(
+                    f"repro: service error: {error}") from None
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if args.verb == "top":
+        from repro.service.client import ServiceError
+
+        with _service_client(args) as client:
+            try:
+                stats = client.stats()
+            except ServiceError as error:
+                raise SystemExit(
+                    f"repro: service error: {error}") from None
+        tracing = stats.get("tracing") or {}
+        histograms = tracing.get("histograms") or {}
+        rows = []
+        for op, stages in sorted(histograms.items()):
+            for stage, hist in sorted(stages.items()):
+                count = hist.get("count", 0)
+                buckets = hist.get("buckets") or {}
+                rows.append((op, stage, count,
+                             hist.get("sum_ms", 0.0),
+                             _hist_quantile_ms(buckets, count, 0.50),
+                             _hist_quantile_ms(buckets, count, 0.99)))
+        if not rows:
+            print("no traced requests yet — is the service running "
+                  "with tracing enabled?")
+            return 0
+        # "top": heaviest (op, stage) series first, by total time.
+        rows.sort(key=lambda row: (-row[3], row[0], row[1]))
+        fmt = "{:<16} {:<12} {:>8} {:>12} {:>9} {:>9}"
+        print(fmt.format("op", "stage", "count", "total_ms",
+                         "p50_ms", "p99_ms"))
+        for op, stage, count, sum_ms, p50, p99 in rows:
+            render = ["-" if q is None else f"{q:g}"
+                      for q in (p50, p99)]
+            print(fmt.format(op, stage, count, f"{sum_ms:.3f}",
+                             render[0], render[1]))
+        return 0
     if args.verb == "store-gc":
         if args.max_bytes < 0:
             raise SystemExit("repro: --max-bytes must be non-negative")
@@ -824,6 +905,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "accessed entries until the store fits "
                               "(needs --store or "
                               "$REPRO_CIRCUIT_STORE)")
+    p_serve.add_argument("--slow-ms", type=float, dest="slow_ms",
+                         metavar="MS", default=None,
+                         help="slow-request threshold: requests whose "
+                              "root span lasts at least MS "
+                              "milliseconds are kept in the slow log "
+                              "(and exported when --trace-dir is set)")
+    p_serve.add_argument("--trace-buffer", type=int,
+                         dest="trace_buffer", metavar="N", default=256,
+                         help="completed request traces kept in the "
+                              "in-memory ring buffer (default 256)")
+    p_serve.add_argument("--trace-dir", dest="trace_dir",
+                         metavar="DIR", default=None,
+                         help="append slow-request traces to "
+                              "DIR/TRACE_slow.jsonl (one JSON span "
+                              "tree per line; needs --slow-ms)")
+    p_serve.add_argument("--no-tracing", action="store_true",
+                         dest="no_tracing",
+                         help="disable request tracing entirely "
+                              "(spans become no-ops; the trace op "
+                              "answers empty)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_query = sub.add_parser(
@@ -896,6 +997,43 @@ def build_parser() -> argparse.ArgumentParser:
                            help="tenant auth token (required when "
                                 "the server runs with --auth-tokens)")
     p_metrics.set_defaults(fn=cmd_ctl)
+
+    p_trace = ctl_sub.add_parser(
+        "trace",
+        help="fetch request traces (span trees) from a running "
+             "service: recent ones, one by --id, or only slow-log "
+             "entries")
+    p_trace.add_argument("--id", default=None, metavar="TRACE_ID",
+                         help="fetch exactly this trace (the id "
+                              "echoed in every response)")
+    p_trace.add_argument("--limit", type=int, default=None,
+                         metavar="N",
+                         help="max traces to return (default 16)")
+    p_trace.add_argument("--slow", action="store_true",
+                         help="only traces that crossed the server's "
+                              "--slow-ms threshold")
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_trace.add_argument("--timeout", type=float, default=60.0,
+                         help="socket timeout in seconds (default 60)")
+    p_trace.add_argument("--auth", metavar="TOKEN", default=None,
+                         help="tenant auth token (scopes the traces "
+                              "you can see on an authenticated "
+                              "server)")
+    p_trace.set_defaults(fn=cmd_ctl)
+
+    p_top = ctl_sub.add_parser(
+        "top",
+        help="per-(op, stage) latency breakdown of a running service "
+             "from its tracing histograms: count, total, p50, p99")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_top.add_argument("--timeout", type=float, default=60.0,
+                       help="socket timeout in seconds (default 60)")
+    p_top.add_argument("--auth", metavar="TOKEN", default=None,
+                       help="tenant auth token (required when the "
+                            "server runs with --auth-tokens)")
+    p_top.set_defaults(fn=cmd_ctl)
 
     p_analyze = ctl_sub.add_parser(
         "analyze",

@@ -16,6 +16,16 @@ The client is thread-safe (an internal lock serializes request/response
 pairs on the single connection); for genuinely concurrent traffic open
 one client per thread — the server coalesces same-fingerprint sweeps
 across connections either way.
+
+Transport knobs: the constructor retries a refused connection a
+bounded number of times with exponential backoff (service start-up
+races), and ``call`` accepts a per-call ``timeout=`` that bounds the
+wait for *this* response — expiry raises ``ServiceError`` with code
+``timeout`` and closes the connection, because a response that
+arrives after its deadline would desynchronize the line framing for
+every later call.  ``call`` also accepts ``trace=`` to pin the
+request's trace id; the id the server echoes (supplied or minted) is
+kept in ``last_trace`` for correlation with the ``trace`` op.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 
 from fractions import Fraction
 
@@ -57,34 +68,87 @@ class ServiceClient:
 
     def __init__(self, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT, timeout: float = 60.0,
-                 auth: str | None = None):
+                 auth: str | None = None, connect_retries: int = 2,
+                 retry_backoff: float = 0.05):
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.host, self.port = host, port
         #: Tenant auth token sent on every request (``None`` for an
         #: open server).  A wrong or missing token surfaces as a
         #: ``ServiceError`` with code ``unauthorized``; a tripped
         #: tenant quota as code ``quota-exceeded``.
         self.auth = auth
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
+        #: Trace id echoed by the most recent response (the id the
+        #: caller supplied, or the one the server minted) — feed it to
+        #: the ``trace`` op to fetch that request's span tree.
+        self.last_trace: str | None = None
+        self._sock = self._connect(host, port, timeout,
+                                   connect_retries, retry_backoff)
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
         self._next_id = 0
 
+    @staticmethod
+    def _connect(host, port, timeout, retries, backoff):
+        """``socket.create_connection`` with bounded retry: a refused
+        or unreachable server is retried ``retries`` times with
+        exponential backoff (start-up races between ``repro serve``
+        and its first client); the final failure propagates."""
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection((host, port),
+                                                timeout=timeout)
+            except OSError:
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff * (2 ** attempt))
+                attempt += 1
+
     # ------------------------------------------------------------------
-    def call(self, op: str, **params) -> dict:
+    def call(self, op: str, *, timeout: float | None = None,
+             trace: str | None = None, **params) -> dict:
         """Send one request; return its ``result`` or raise
         ``ServiceError``.  ``None``-valued params are omitted (the
-        server applies its defaults)."""
+        server applies its defaults).
+
+        ``timeout`` bounds the wait for this one response; expiry
+        raises ``ServiceError("timeout", ...)`` and closes the
+        connection (a late response would desynchronize the framing).
+        ``trace`` pins the request's trace id instead of letting the
+        server mint one.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
         payload = {key: _wire_value(value)
                    for key, value in params.items() if value is not None}
         with self._lock:
             self._next_id += 1
             request_id = self._next_id
-            self._file.write(dump_line(
-                encode_request(op, payload, request_id,
-                               auth=self.auth)))
-            self._file.flush()
-            raw = self._file.readline()
+            line = dump_line(encode_request(op, payload, request_id,
+                                            auth=self.auth,
+                                            trace=trace))
+            restore = self._sock.gettimeout()
+            if timeout is not None:
+                self._sock.settimeout(timeout)
+            try:
+                self._file.write(line)
+                self._file.flush()
+                raw = self._file.readline()
+            except TimeoutError:
+                self.close()
+                raise ServiceError(
+                    "timeout",
+                    f"no response to {op!r} within {timeout}s; "
+                    f"connection closed") from None
+            finally:
+                if timeout is not None:
+                    try:
+                        self._sock.settimeout(restore)
+                    except OSError:
+                        pass  # already closed by the timeout path
         if not raw:
             raise ServiceError("connection-closed",
                                "server closed the connection")
@@ -99,6 +163,9 @@ class ServiceClient:
                 "unsupported-version",
                 f"server speaks protocol {response.get('v')!r}, "
                 f"client speaks {PROTOCOL_VERSION}")
+        echoed = response.get("trace")
+        if isinstance(echoed, str):
+            self.last_trace = echoed
         if not response.get("ok"):
             # Surface the server's structured error before id
             # bookkeeping — an unparseable request cannot echo an id.
@@ -129,6 +196,13 @@ class ServiceClient:
         """The Prometheus-style rendering of ``stats``: a dict with
         ``text`` (the exposition body) and ``content_type``."""
         return self.call("metrics")
+
+    def trace(self, id: str | None = None, limit: int | None = None,
+              slow: bool | None = None) -> dict:
+        """Recent request traces — or one trace by id (``id=`` accepts
+        the ``last_trace`` echoed by any earlier call), or only the
+        slow-log entries (``slow=True``)."""
+        return self.call("trace", id=id, limit=limit, slow=slow)
 
     def store_gc(self, max_bytes: int) -> dict:
         """Prune the service's tier-2 store down to ``max_bytes``

@@ -17,6 +17,14 @@ shows up in ``metrics`` automatically, just untyped until curated.
 Everything is emitted in sorted order and floats go through
 ``repr``, so the text is deterministic across hash seeds (the smoke
 test and the determinism probes rely on that).
+
+When the stats payload carries a ``tracing`` section (the request
+tracer is on), its per-``(op, stage)`` latency histograms render as
+native Prometheus histogram families —
+``repro_op_stage_seconds_bucket{op=...,stage=...,le=...}`` plus the
+matching ``_sum``/``_count`` — and its scalar counters (completed
+traces, slow-log hits, ring-buffer drops) as ``tracing_info``
+gauges.
 """
 
 from __future__ import annotations
@@ -28,7 +36,8 @@ _PREFIX = "repro"
 
 #: ``stats`` keys rendered by the curated blocks (everything else in
 #: their sections falls through to the generic gauge sweep).
-_CURATED_SERVICE = ("requests", "errors", "ops", "uptime_s")
+_CURATED_SERVICE = ("requests", "errors", "ops", "uptime_s",
+                    "uptime_seconds", "started_at")
 _CURATED_CACHE = ("hits", "compiles", "store_hits", "store_misses",
                   "budget_aborts", "tape_hits", "tape_flattens")
 
@@ -74,6 +83,27 @@ class _Writer:
         for labels, value in samples:
             self.lines.append(_sample(full, labels, value))
 
+    def histogram_family(self, name: str, help_text: str,
+                         series) -> None:
+        """A native histogram family.  ``series`` is an iterable of
+        ``(labels_dict, buckets_dict, sum_value, count)`` where
+        ``buckets_dict`` maps ``le`` label strings (already including
+        ``"+Inf"``) to cumulative counts in ladder order."""
+        series = list(series)
+        if not series:
+            return
+        full = f"{_PREFIX}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} histogram")
+        for labels, buckets, sum_value, count in series:
+            for le, cumulative in buckets.items():
+                self.lines.append(_sample(
+                    f"{full}_bucket", {**labels, "le": le},
+                    cumulative))
+            self.lines.append(_sample(f"{full}_sum", labels,
+                                      float(sum_value)))
+            self.lines.append(_sample(f"{full}_count", labels, count))
+
     def text(self) -> str:
         return "\n".join(self.lines) + "\n"
 
@@ -91,12 +121,17 @@ def render_metrics(stats: dict) -> str:
     cache = stats.get("cache") or {}
     service = stats.get("service") or {}
     tenants = stats.get("tenants") or {}
+    tracing = stats.get("tracing") or {}
     w = _Writer()
 
+    uptime = service.get("uptime_seconds", service.get("uptime_s"))
     w.family("uptime_seconds", "gauge",
-             "Seconds since the service started.",
-             [({}, service["uptime_s"])] if "uptime_s" in service
-             else [])
+             "Seconds since the service started (monotonic clock).",
+             [({}, uptime)] if uptime is not None else [])
+    w.family("started_at_seconds", "gauge",
+             "Unix timestamp of service start.",
+             [({}, service["started_at"])]
+             if "started_at" in service else [])
     w.family("requests_total", "counter",
              "Requests accepted for dispatch (all ops).",
              [({}, service["requests"])] if "requests" in service
@@ -154,6 +189,23 @@ def render_metrics(stats: dict) -> str:
              "Cumulative interned nodes charged to the tenant.",
              [({"tenant": name}, usage.get("nodes_spent", 0))
               for name, usage in sorted(tenants.items())])
+
+    # Request-tracing projection: per-(op, stage) latency histograms
+    # plus the tracer's own scalar counters.  ``sum_ms`` converts to
+    # seconds here so the exposition speaks base units throughout.
+    histograms = tracing.get("histograms") or {}
+    w.histogram_family(
+        "op_stage_seconds",
+        "Stage latency by operation ('total' is the whole request).",
+        [({"op": op, "stage": stage}, h["buckets"],
+          h["sum_ms"] / 1000.0, h["count"])
+         for op, stages in sorted(histograms.items())
+         for stage, h in sorted(stages.items())])
+    w.family("tracing_info", "gauge",
+             "Numeric request-tracer stats, by key.",
+             [({"key": key}, value)
+              for key, value in _numeric_items(
+                  tracing, skip=("histograms",))])
 
     # Everything else numeric in the two sections: generic gauges, so
     # new stats counters surface without touching this module.

@@ -11,7 +11,12 @@ meant:
 
 A hardened server additionally wants a top-level ``auth`` token
 (``"auth": "s3cret"``) naming the calling tenant; it travels outside
-``params`` so per-op validation stays authentication-blind.
+``params`` so per-op validation stays authentication-blind.  A
+top-level ``trace`` string likewise rides outside ``params``: it
+names the request's trace id for the server's span tracer (minted by
+the server when absent) and is echoed back as a top-level ``trace``
+field on the response, so a client can correlate its own requests
+with the server-side span trees the ``trace`` op returns.
 
 Responses echo the id and either carry a result or a *structured*
 error (machine-readable ``code`` + human-readable ``message``):
@@ -51,8 +56,11 @@ MAX_REQUEST_BYTES = 1_048_576
 
 #: Every operation the server understands.
 OPS = ("compile", "evaluate", "evaluate_batch", "sweep", "estimate",
-       "sample", "top_k", "stats", "metrics", "store_gc", "ping",
-       "shutdown")
+       "sample", "top_k", "stats", "metrics", "trace", "store_gc",
+       "ping", "shutdown")
+
+#: Upper bound on a client-supplied trace id.
+MAX_TRACE_ID_CHARS = 128
 
 #: Machine-readable error codes a response may carry.
 #: ``unauthorized``/``quota-exceeded`` are the multi-tenant refusals:
@@ -91,13 +99,16 @@ def dump_line(obj: dict) -> bytes:
 
 def parse_request(line: bytes | str):
     """Validate one request line into
-    ``(request_id, op, params, auth)``.
+    ``(request_id, op, params, auth, trace)``.
 
     ``auth`` is the optional top-level token string identifying the
     caller (``None`` when absent) — it rides outside ``params`` so
     per-op validation never has to know about authentication.
-    Anything short of a well-formed, version-matched request raises
-    ``ProtocolError`` with the most specific code available.
+    ``trace`` is the optional client-supplied trace id for the
+    server's span tracer, likewise top-level so instrumentation never
+    leaks into per-op validation.  Anything short of a well-formed,
+    version-matched request raises ``ProtocolError`` with the most
+    specific code available.
     """
     if isinstance(line, bytes):
         try:
@@ -144,21 +155,31 @@ def parse_request(line: bytes | str):
     auth = obj.get("auth")
     if auth is not None and not isinstance(auth, str):
         refuse("bad-request", "'auth' must be a token string")
-    stray = set(obj) - {"v", "id", "op", "params", "auth"}
+    trace = obj.get("trace")
+    if trace is not None and (
+            not isinstance(trace, str) or not trace
+            or len(trace) > MAX_TRACE_ID_CHARS):
+        refuse("bad-request",
+               f"'trace' must be a non-empty string of at most "
+               f"{MAX_TRACE_ID_CHARS} characters")
+    stray = set(obj) - {"v", "id", "op", "params", "auth", "trace"}
     if stray:
         refuse("bad-request",
                f"unexpected request fields: {', '.join(sorted(stray))}")
-    return request_id, op, params, auth
+    return request_id, op, params, auth, trace
 
 
 def encode_request(op: str, params: dict | None = None,
-                   request_id=None, auth: str | None = None) -> dict:
+                   request_id=None, auth: str | None = None,
+                   trace: str | None = None) -> dict:
     """The client-side request object (call ``dump_line`` to frame)."""
     obj = {"v": PROTOCOL_VERSION, "op": op, "params": params or {}}
     if request_id is not None:
         obj["id"] = request_id
     if auth is not None:
         obj["auth"] = auth
+    if trace is not None:
+        obj["trace"] = trace
     return obj
 
 
@@ -330,6 +351,21 @@ def take_int(params: dict, field: str, default=_MISSING,
     if maximum is not None and value > maximum:
         raise ProtocolError("bad-request",
                             f"param {field!r} must be <= {maximum}")
+    return value
+
+
+def take_bool(params: dict, field: str, default=_MISSING) -> bool:
+    value = params.get(field, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ProtocolError("bad-request",
+                                f"missing required param {field!r}")
+        return default
+    if not isinstance(value, bool):
+        raise ProtocolError(
+            "bad-request",
+            f"param {field!r} must be a boolean, "
+            f"got {type(value).__name__}")
     return value
 
 

@@ -22,25 +22,41 @@ Two schedulers make the warm circuit store pay off under concurrency:
 
 Both are transport-agnostic (no sockets, no protocol) and usable by
 any embedding — the TCP server is just one caller.
+
+Both record ``repro.obs`` spans when the calling request carries an
+active trace: the leader of a deduped compile gets a ``queue`` span
+covering the wait for an executor slot (the submitted job runs inside
+a copy of the leader's context, so compile-stage spans land in the
+leader's trace), riders get a ``queue`` span covering their wait on
+the shared job, tagged with the leader's trace id.  The coalescer
+mirrors this with ``coalesce`` spans around the leader's batching
+window and each rider's wait.  With no active trace every span call
+returns the shared no-op span.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 
 from concurrent.futures import ThreadPoolExecutor
 
+from repro import obs
+
 
 class _Job:
-    """One in-flight compilation: a completion event plus its outcome."""
+    """One in-flight compilation: a completion event plus its outcome.
+    ``trace_id`` is the leader's trace id (or None), so riders can
+    attribute their wait to the trace doing the actual work."""
 
-    __slots__ = ("done", "result", "error")
+    __slots__ = ("done", "result", "error", "trace_id")
 
     def __init__(self):
         self.done = threading.Event()
         self.result = None
         self.error = None
+        self.trace_id = None
 
 
 class CompilePool:
@@ -82,13 +98,27 @@ class CompilePool:
             leader = job is None
             if leader:
                 job = _Job()
+                job.trace_id = obs.current_trace_id()
                 self._inflight[key] = job
                 self.launched += 1
             else:
                 self.joined += 1
         if leader:
+            # The job runs on an executor worker, where contextvars do
+            # not propagate by themselves: carry the leader's context
+            # across so compile-stage spans attach to the leader's
+            # trace.  The ``queue`` span measures the wait for a free
+            # worker — it starts here and is closed by the task itself
+            # the moment it begins executing.
+            queue_span = obs.span("queue", role="leader").begin()
+            ctx = contextvars.copy_context()
+
+            def task():
+                queue_span.finish()
+                return ctx.run(fn)
+
             try:
-                job.result = self._executor.submit(fn).result()
+                job.result = self._executor.submit(task).result()
             except BaseException as error:
                 job.error = error
             finally:
@@ -96,7 +126,9 @@ class CompilePool:
                     self._inflight.pop(key, None)
                 job.done.set()
         else:
-            job.done.wait()
+            with obs.span("queue", role="rider",
+                          leader=job.trace_id or ""):
+                job.done.wait()
         if job.error is not None:
             raise job.error
         return job.result, leader
@@ -113,10 +145,11 @@ class CompilePool:
 
 
 class _Batch:
-    """One coalesced sweep pass: shared vector list, shared outcome."""
+    """One coalesced sweep pass: shared vector list, shared outcome.
+    ``trace_id`` attributes the batch to its leader's trace."""
 
     __slots__ = ("vectors", "requests", "done",
-                 "values", "engine", "estimates", "error")
+                 "values", "engine", "estimates", "error", "trace_id")
 
     def __init__(self):
         self.vectors = []
@@ -126,6 +159,7 @@ class _Batch:
         self.engine = None
         self.estimates = None
         self.error = None
+        self.trace_id = None
 
 
 class SweepCoalescer:
@@ -176,6 +210,7 @@ class SweepCoalescer:
             leader = batch is None
             if leader:
                 batch = _Batch()
+                batch.trace_id = obs.current_trace_id()
                 self._pending[key] = batch
             start = len(batch.vectors)
             batch.vectors.extend(weight_maps)
@@ -183,7 +218,8 @@ class SweepCoalescer:
             stop = len(batch.vectors)
         if leader:
             if wait and self.window > 0:
-                time.sleep(self.window)
+                with obs.span("coalesce", role="leader"):
+                    time.sleep(self.window)
             with self._lock:
                 # Close the batch: late arrivals start the next one.
                 self._pending.pop(key, None)
@@ -202,7 +238,9 @@ class SweepCoalescer:
             finally:
                 batch.done.set()
         else:
-            batch.done.wait()
+            with obs.span("coalesce", role="rider",
+                          leader=batch.trace_id or ""):
+                batch.done.wait()
         if batch.error is not None:
             raise batch.error
         estimates = (batch.estimates[start:stop]

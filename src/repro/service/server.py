@@ -57,6 +57,7 @@ from repro.core.queries import Query
 from repro.core.safety import is_safe
 from repro.evaluation import METHODS, endpoint_weight_grid, evaluate
 from repro.reduction.blocks import path_block
+from repro.obs import NULL_SPAN, Tracer, span
 from repro.service.protocol import (
     MAX_REQUEST_BYTES,
     ProtocolError,
@@ -66,6 +67,7 @@ from repro.service.protocol import (
     error_response,
     ok_response,
     parse_request,
+    take_bool,
     take_fraction,
     take_int,
     take_int_list,
@@ -155,14 +157,34 @@ class ReproServer:
                  auth_tokens: dict[str, str] | None = None,
                  quota: TenantQuota | None = None,
                  tenant_quotas: dict[str, TenantQuota] | None = None,
-                 store_max_bytes: int | None = None):
+                 store_max_bytes: int | None = None,
+                 tracing: bool = True,
+                 slow_ms: float | None = None,
+                 trace_buffer: int = 256,
+                 trace_dir=None,
+                 tracer: Tracer | None = None,
+                 clock=time.monotonic):
         if store is not None:
             wmc.set_circuit_store(store)
         if store_max_bytes is not None and store_max_bytes < 0:
             raise ValueError("store_max_bytes must be non-negative")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError("slow_ms must be non-negative")
         self.default_budget = budget_nodes
         self.pool = CompilePool(workers)
         self.coalescer = SweepCoalescer(window)
+        #: Request tracing: the tracer mints (or propagates) one trace
+        #: per request, keeps the last ``trace_buffer`` span trees,
+        #: feeds the (op, stage) latency histograms, and logs requests
+        #: slower than ``slow_ms`` (optionally to
+        #: ``trace_dir/TRACE_slow.jsonl``).  Pass a prebuilt
+        #: ``tracer`` to override all of that (tests inject fake
+        #: clocks this way).
+        self.tracer = tracer if tracer is not None else Tracer(
+            enabled=tracing, buffer_size=trace_buffer,
+            slow_threshold=(None if slow_ms is None
+                            else slow_ms / 1000.0),
+            trace_dir=trace_dir)
         #: Multi-tenant hardening: token auth plus per-tenant quotas
         #: (``auth_tokens`` maps token -> tenant; ``quota`` is the
         #: default limits record, ``tenant_quotas`` per-tenant
@@ -195,7 +217,12 @@ class ReproServer:
         self._workload_lock = threading.Lock()
         self._workloads: OrderedDict = OrderedDict()
         self._workload_cache_size = workload_cache_size
-        self._started = time.monotonic()
+        #: Uptime runs on an injectable monotonic clock (dashboards
+        #: rate-convert counters against it); ``started_at`` is the
+        #: one wall-clock reading, taken exactly once at start-up.
+        self._clock = clock
+        self._started = clock()
+        self._started_at = time.time()
         self._serve_thread = None
         self._dispatch = {
             "compile": self._op_compile,
@@ -207,6 +234,7 @@ class ReproServer:
             "top_k": self._op_top_k,
             "stats": self._op_stats,
             "metrics": self._op_metrics,
+            "trace": self._op_trace,
             "store_gc": self._op_store_gc,
             "ping": self._op_ping,
             "shutdown": self._op_shutdown,
@@ -256,14 +284,22 @@ class ReproServer:
     # Request handling
     # ------------------------------------------------------------------
     def handle_line(self, line: bytes | str) -> dict:
-        """One request line to one response object (never raises)."""
+        """One request line to one response object (never raises).
+
+        Every dispatched request runs inside a root span; the trace id
+        (client-supplied via the top-level ``trace`` request field, or
+        minted by the tracer) is echoed back as a top-level ``trace``
+        response field, success or error, so clients can fetch the
+        span tree afterwards through the ``trace`` op.
+        """
         request_id = None
         try:
-            request_id, op, params, auth = parse_request(line)
+            request_id, op, params, auth, trace_id = parse_request(line)
         except ProtocolError as error:
             self._count(None, error=True)
             return error_response(error.request_id, error.code,
                                   error.message)
+        root = NULL_SPAN
         try:
             # Authentication and the rate window come before any work:
             # an unauthorized or over-quota request costs one dict
@@ -275,15 +311,24 @@ class ReproServer:
             self._tenant_local.tenant = tenant
             self.tenants.charge_request(tenant)
             self._count(op)
-            return ok_response(request_id, op, self._dispatch[op](params))
+            root = self.tracer.root(op, trace_id=trace_id,
+                                    tenant=tenant)
+            with root:
+                result = self._dispatch[op](params)
+            response = ok_response(request_id, op, result)
         except ProtocolError as error:
             self._count(None, error=True)
-            return error_response(request_id, error.code, error.message)
+            response = error_response(request_id, error.code,
+                                      error.message)
         except Exception as error:  # never kill the connection loop
             self._count(None, error=True)
-            return error_response(
+            response = error_response(
                 request_id, "internal",
                 f"{type(error).__name__}: {error}")
+        echo = root.trace_id if root.trace_id is not None else trace_id
+        if echo is not None:
+            response["trace"] = echo
+        return response
 
     def _count(self, op: str | None, error: bool = False) -> None:
         with self._counter_lock:
@@ -297,6 +342,13 @@ class ReproServer:
     # Workload resolution (query text + block length -> lineage)
     # ------------------------------------------------------------------
     def _workload(self, params: dict) -> Workload:
+        with span("dispatch") as sp:
+            return self._workload_resolve(params, sp)
+
+    def _workload_resolve(self, params: dict, sp) -> Workload:
+        """``dispatch``-stage body: parse, ground, and cache the
+        request target (the span tag says whether it was a cache
+        hit)."""
         text = take_str(params, "query")
         p = take_int(params, "p", default=4, minimum=1, maximum=64)
         key = (text, p)
@@ -304,7 +356,9 @@ class ReproServer:
             hit = self._workloads.get(key)
             if hit is not None:
                 self._workloads.move_to_end(key)
+                sp.tag(cached=True)
                 return hit
+        sp.tag(cached=False)
         from repro.cli import parse_query
         try:
             query = parse_query(text)
@@ -401,9 +455,12 @@ class ReproServer:
 
     def _op_stats(self, params: dict) -> dict:
         check_fields(params, ())
+        uptime = self._clock() - self._started
         with self._counter_lock:
             service = {
-                "uptime_s": round(time.monotonic() - self._started, 3),
+                "uptime_s": round(uptime, 3),
+                "uptime_seconds": round(uptime, 6),
+                "started_at": round(self._started_at, 3),
                 "requests": self._requests,
                 "errors": self._errors,
                 "ops": dict(sorted(self._op_counts.items())),
@@ -418,8 +475,10 @@ class ReproServer:
         service.update(self.pool.stats())
         service.update(self.coalescer.stats())
         service.update(self._adaptive_stats())
+        tracing = self.tracer.stats()
+        tracing["histograms"] = self.tracer.histograms()
         return {"cache": wmc.cache_info(), "service": service,
-                "tenants": self.tenants.usage()}
+                "tenants": self.tenants.usage(), "tracing": tracing}
 
     def _op_metrics(self, params: dict) -> dict:
         """The ``stats`` payload rendered in the Prometheus text
@@ -428,6 +487,26 @@ class ReproServer:
         check_fields(params, ())
         return {"content_type": CONTENT_TYPE,
                 "text": render_metrics(self._op_stats({}))}
+
+    def _op_trace(self, params: dict) -> dict:
+        """Completed request traces from the tracer's ring buffer:
+        the newest ``limit`` (or the slow log with ``slow``), or one
+        trace by ``id``.  Under auth, a tenant only ever sees its own
+        traces — trace ids are not capabilities."""
+        check_fields(params, ("id", "limit", "slow"))
+        trace_id = take_str(params, "id", default=None)
+        limit = take_int(params, "limit", default=16, minimum=1,
+                         maximum=256)
+        slow = take_bool(params, "slow", default=False)
+        tenant = getattr(self._tenant_local, "tenant", ANONYMOUS)
+        scope = tenant if self.tenants.auth_enabled else None
+        if trace_id is not None:
+            found = self.tracer.find(trace_id, tenant=scope)
+            traces = [] if found is None else [found]
+        else:
+            traces = self.tracer.recent(limit, tenant=scope, slow=slow)
+        return {"enabled": self.tracer.enabled,
+                "count": len(traces), "traces": traces}
 
     def _op_store_gc(self, params: dict) -> dict:
         """Size-capped eviction on the attached tier-2 store
@@ -550,10 +629,12 @@ class ReproServer:
                 and not workload.safe and not workload.query.is_false():
             self._prewarm(workload,
                           budget if method == "auto" else None)
-        result = evaluate(workload.query, workload.tid, method,
-                          budget_nodes=budget, epsilon=epsilon,
-                          delta=delta, rng=seed, estimator=estimator,
-                          relative_error=relative)
+        with span("evaluate", method=method):
+            result = evaluate(workload.query, workload.tid, method,
+                              budget_nodes=budget, epsilon=epsilon,
+                              delta=delta, rng=seed,
+                              estimator=estimator,
+                              relative_error=relative)
         self._note_estimates([result.estimate], epsilon, delta)
         payload = result.as_dict()
         payload["p"] = workload.p
@@ -615,9 +696,11 @@ class ReproServer:
             # A blown budget propagates to every coalesced waiter,
             # each of which then runs its own seeded estimate.
             self._compiled(workload, budget)
-            return wmc.probability_batch_auto(
-                workload.formula, vectors, budget_nodes=budget,
-                numeric=numeric)
+            with span("evaluate", lanes=len(vectors),
+                      numeric=numeric):
+                return wmc.probability_batch_auto(
+                    workload.formula, vectors, budget_nodes=budget,
+                    numeric=numeric)
 
         try:
             # Pay the coalescing window only ahead of a cold
@@ -633,11 +716,13 @@ class ReproServer:
             # cache makes the retried compile abort instantly, and the
             # request's own rng makes an explicit seed reproduce the
             # same estimates whether or not the request was coalesced.
-            sweep = wmc.probability_batch_auto(
-                workload.formula, weight_maps, budget_nodes=budget,
-                epsilon=epsilon, delta=delta, rng=seed,
-                numeric=numeric, estimator=estimator,
-                relative_error=relative)
+            with span("evaluate", lanes=len(weight_maps),
+                      numeric=numeric, fallback="budget"):
+                sweep = wmc.probability_batch_auto(
+                    workload.formula, weight_maps,
+                    budget_nodes=budget, epsilon=epsilon, delta=delta,
+                    rng=seed, numeric=numeric, estimator=estimator,
+                    relative_error=relative)
             values, engine, estimates = (sweep.values, sweep.engine,
                                          sweep.estimates)
             self._note_estimates(estimates or [], epsilon, delta)
@@ -654,11 +739,13 @@ class ReproServer:
                 self._compiled(workload, budget)
             except CompilationBudgetExceeded:
                 pass  # the auto policy below degrades per request
-            sweep = wmc.probability_batch_auto(
-                workload.formula, weight_maps, budget_nodes=budget,
-                epsilon=epsilon, delta=delta, rng=seed,
-                numeric=numeric, estimator=estimator,
-                relative_error=relative)
+            with span("evaluate", lanes=len(weight_maps),
+                      numeric=numeric, fallback="quota"):
+                sweep = wmc.probability_batch_auto(
+                    workload.formula, weight_maps,
+                    budget_nodes=budget, epsilon=epsilon, delta=delta,
+                    rng=seed, numeric=numeric, estimator=estimator,
+                    relative_error=relative)
             values, engine, estimates = (sweep.values, sweep.engine,
                                          sweep.estimates)
             self._note_estimates(estimates or [], epsilon, delta)
@@ -683,9 +770,11 @@ class ReproServer:
         _, epsilon, delta, seed, estimator, relative = \
             self._estimator_knobs(params)
         workload = self._workload(params)
-        estimate = estimate_with(
-            estimator, workload.formula, workload.tid.probability,
-            epsilon, delta, seed, relative_error=relative)
+        with span("evaluate", method=estimator):
+            estimate = estimate_with(
+                estimator, workload.formula,
+                workload.tid.probability, epsilon, delta, seed,
+                relative_error=relative)
         self._note_estimates([estimate], epsilon, delta)
         return {
             "fingerprint": workload.fingerprint,
@@ -714,8 +803,9 @@ class ReproServer:
         seed = take_int(params, "seed", default=0)
         workload, circuit = self._sampling_circuit(params)
         try:
-            worlds = circuit.sample(workload.tid.probability, k,
-                                    rng=seed)
+            with span("evaluate", method="sample", k=k):
+                worlds = circuit.sample(workload.tid.probability, k,
+                                        rng=seed)
         except ValueError as error:
             raise ProtocolError("bad-request", str(error)) from None
         return {
@@ -729,7 +819,8 @@ class ReproServer:
         check_fields(params, ("query", "p", "k", "budget_nodes"))
         k = take_int(params, "k", default=1, minimum=1, maximum=10_000)
         workload, circuit = self._sampling_circuit(params)
-        pairs = circuit.top_k_worlds(workload.tid.probability, k)
+        with span("evaluate", method="top_k", k=k):
+            pairs = circuit.top_k_worlds(workload.tid.probability, k)
         return {
             "fingerprint": workload.fingerprint,
             "engine": "exact",

@@ -12,6 +12,13 @@ asserts the observable contract CI cares about:
   growing memory hits — after repeated queries;
 * the ``metrics`` op renders those counters as Prometheus exposition
   text, through the client and through ``repro ctl metrics``;
+* request tracing works over the wire: a client-supplied trace id is
+  echoed and fetchable through the ``trace`` op, a cold sweep's span
+  tree covers the dispatch/coalesce/queue/compile/evaluate stages,
+  the ``--slow-ms 0`` threshold lands every request in the slow log
+  (including the JSONL export), the latency histograms render as
+  Prometheus ``_bucket`` families, and ``repro ctl top`` prints the
+  per-stage breakdown;
 * shutdown-over-the-wire stops the server process;
 * a second, auth-enabled server refuses missing/bad tokens with the
   ``unauthorized`` code, serves a good token, and attributes the
@@ -27,6 +34,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 
 QUERY = "(R|S1)(S1|T)"
 
@@ -47,21 +55,28 @@ def _cli_query(port: int, *argv: str) -> dict:
     return json.loads(proc.stdout)
 
 
-def _cli_metrics(port: int) -> str:
-    """``repro ctl metrics`` — raw Prometheus exposition text."""
-    command = [sys.executable, "-m", "repro", "ctl", "metrics",
+def _cli_ctl(port: int, *argv: str) -> str:
+    """One ``repro ctl`` CLI invocation, raw stdout."""
+    command = [sys.executable, "-m", "repro", "ctl", *argv,
                "--port", str(port)]
     proc = subprocess.run(command, capture_output=True, text=True,
                           timeout=120)
-    _require(proc.returncode == 0, "ctl metrics exited non-zero",
+    _require(proc.returncode == 0, f"ctl {argv[0]} exited non-zero",
              (command, proc.stdout, proc.stderr))
     return proc.stdout
 
 
+def _cli_metrics(port: int) -> str:
+    """``repro ctl metrics`` — raw Prometheus exposition text."""
+    return _cli_ctl(port, "metrics")
+
+
 def main() -> int:
     env = dict(os.environ)
+    trace_dir = tempfile.mkdtemp(prefix="repro-smoke-traces-")
     server = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--slow-ms", "0", "--trace-dir", trace_dir],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         env=env)
     try:
@@ -78,17 +93,20 @@ def main() -> int:
             _require(stats["cache"]["compiles"] == 0,
                      "cold server already compiled", stats["cache"])
 
+            # The sweep goes first so its trace shows the whole cold
+            # path (coalesce window, compile pool, evaluation); the
+            # evaluate afterwards demonstrates the warm cache.
+            sweep = client.sweep(QUERY, p=4, grid=6)
+            _require(sweep["engine"] == "exact"
+                     and sweep["count"] == 6,
+                     "exact sweep provenance", sweep)
+
             result = client.evaluate(QUERY, p=4)
             _require(result["engine"] == "exact"
                      and result["method"] == "wmc",
                      "exact evaluate provenance", result)
             _require(result["value"] == "4181/131072",
                      "exact evaluate value", result)
-
-            sweep = client.sweep(QUERY, p=4, grid=6)
-            _require(sweep["engine"] == "exact"
-                     and sweep["count"] == 6,
-                     "exact sweep provenance", sweep)
 
             stats = client.stats()
             _require(stats["cache"]["compiles"] == 1,
@@ -122,6 +140,39 @@ def main() -> int:
                      in metrics["text"],
                      "metrics exposition families", metrics["text"])
 
+            # Request tracing over the wire: supplied ids echo back,
+            # span trees cover the stack, slow log catches everything
+            # under --slow-ms 0, histograms render as _bucket series.
+            client.call("ping", trace="smoke-trace")
+            _require(client.last_trace == "smoke-trace",
+                     "client trace id echoed", client.last_trace)
+            fetched = client.trace(id="smoke-trace")
+            _require(fetched["count"] == 1
+                     and fetched["traces"][0]["op"] == "ping",
+                     "trace fetchable by id", fetched)
+            listing = client.trace(limit=50)
+            sweeps = [p for p in listing["traces"]
+                      if p["op"] == "sweep"]
+            _require(bool(sweeps), "sweep trace buffered", listing)
+            # recent() is newest-first: the last entry is the cold
+            # sweep that paid for the whole stack.
+            stages = {s["name"] for s in sweeps[-1]["spans"]}
+            _require({"dispatch", "coalesce", "queue", "compile",
+                      "evaluate"} <= stages,
+                     "sweep span tree covers the stack", stages)
+            slow = client.trace(slow=True, limit=50)
+            _require(slow["count"] >= 1
+                     and all(p["slow"] for p in slow["traces"]),
+                     "slow log populated at --slow-ms 0", slow)
+            slow_file = os.path.join(trace_dir, "TRACE_slow.jsonl")
+            _require(os.path.exists(slow_file)
+                     and os.path.getsize(slow_file) > 0,
+                     "slow traces exported as JSONL", trace_dir)
+            _require("repro_op_stage_seconds_bucket{"
+                     in client.metrics()["text"],
+                     "latency histograms in metrics",
+                     client.metrics()["text"][:2000])
+
         # The same contract through the CLI client.
         result = _cli_query(port, "evaluate", QUERY, "--p", "4")
         _require(result["engine"] == "exact"
@@ -139,6 +190,17 @@ def main() -> int:
                  in exposition
                  and "repro_cache_compiles_total 1" in exposition,
                  "repro ctl metrics exposition", exposition)
+
+        top = _cli_ctl(port, "top")
+        _require(top.splitlines()[0].split()[:3]
+                 == ["op", "stage", "count"]
+                 and any("total" in line
+                         for line in top.splitlines()[1:]),
+                 "repro ctl top breakdown", top)
+        traces_out = json.loads(_cli_ctl(port, "trace",
+                                         "--id", "smoke-trace"))
+        _require(traces_out["count"] == 1,
+                 "repro ctl trace by id", traces_out)
 
         _cli_query(port, "shutdown")
         server.wait(timeout=30)

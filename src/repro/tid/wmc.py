@@ -56,6 +56,7 @@ from repro.booleans.circuit import (
 )
 from repro.booleans.cnf import CNF
 from repro.booleans.connectivity import clause_components
+from repro import obs
 from repro.booleans.tape import (
     Tape,
     adopt_tape,
@@ -262,8 +263,13 @@ def compiled(formula: CNF,
                 raise CompilationBudgetExceeded(budget_nodes)
     try:
         # The exponential search runs outside the lock so one hard
-        # compilation cannot stall unrelated cache traffic.
-        circuit = compile_cnf(formula, budget_nodes)
+        # compilation cannot stall unrelated cache traffic.  The span
+        # covers only a *fresh* compilation — cache hits above return
+        # without touching the tracer, keeping the warm path free of
+        # instrumentation cost and the stage durations disjoint.
+        with obs.span("compile", budget=budget_nodes or 0) as sp:
+            circuit = compile_cnf(formula, budget_nodes)
+            sp.tag(nodes=circuit.size)
     except CompilationBudgetExceeded:
         with _LOCK:
             _stats["budget_aborts"] += 1

@@ -40,25 +40,42 @@ def round_trip(obj: dict) -> dict:
 
 class TestParseRequest:
     def test_minimal(self):
-        rid, op, params, auth = parse_request(
+        rid, op, params, auth, trace = parse_request(
             dump_line({"v": PROTOCOL_VERSION, "op": "ping"}))
         assert rid is None and op == "ping" and params == {}
-        assert auth is None
+        assert auth is None and trace is None
 
     @pytest.mark.parametrize("op", OPS)
     def test_every_op_round_trips(self, op):
         request = encode_request(op, {"query": "(R|S1)(S1|T)"},
                                  request_id=17)
-        rid, parsed_op, params, auth = parse_request(
+        rid, parsed_op, params, auth, trace = parse_request(
             dump_line(request))
         assert (rid, parsed_op) == (17, op)
         assert params == {"query": "(R|S1)(S1|T)"}
-        assert auth is None
+        assert auth is None and trace is None
 
     def test_auth_token_round_trips(self):
         request = encode_request("ping", request_id=3, auth="s3cret")
-        rid, op, params, auth = parse_request(dump_line(request))
+        rid, op, params, auth, trace = parse_request(
+            dump_line(request))
         assert (rid, op, params, auth) == (3, "ping", {}, "s3cret")
+        assert trace is None
+
+    def test_trace_id_round_trips(self):
+        request = encode_request("ping", request_id=4,
+                                 trace="client-trace-1")
+        rid, op, params, auth, trace = parse_request(
+            dump_line(request))
+        assert (rid, op, trace) == (4, "ping", "client-trace-1")
+
+    @pytest.mark.parametrize("bad", [7, "", "x" * 129, True])
+    def test_bad_trace_id_rejected(self, bad):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(dump_line(
+                {"v": PROTOCOL_VERSION, "op": "ping", "trace": bad}))
+        assert info.value.code == "bad-request"
+        assert "trace" in info.value.message
 
     def test_auth_must_be_a_string(self):
         with pytest.raises(ProtocolError) as info:
