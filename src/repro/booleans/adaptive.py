@@ -580,6 +580,14 @@ class BudgetPlanner:
         self.planned += 1
         return max(self.floor, min(self.cap, self.margin * predicted))
 
+    def growth_records(self) -> list[dict]:
+        """The observed trajectory in the record shape
+        ``from_growth_records`` consumes, so planners can be merged:
+        the service dispatcher unions each worker's records into one
+        service-wide planner (``observe`` dedupes on replay)."""
+        return [{"clauses": o.clauses, "circuit_nodes": o.nodes}
+                for o in self._observations]
+
     def stats(self) -> dict:
         return {"observations": len(self._observations),
                 "planned_budgets": self.planned,

@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.booleans.circuit import (
@@ -105,9 +106,28 @@ def cnf_fingerprint(formula: CNF) -> str:
 class CircuitStore:
     """A content-addressed directory of serialized d-DNNF circuits."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, *, clock=time.time):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+
+    def _touch(self, path: Path) -> None:
+        """Record a read so ``prune``'s oldest-atime-first order is the
+        true access order.
+
+        ``relatime`` (the Linux mount default) and ``noatime`` stop the
+        kernel from updating ``st_atime`` on reads, which silently
+        turns "evict the least recently *used*" into "evict the least
+        recently *written*" — i.e. the hottest long-lived circuits go
+        first.  An explicit, best-effort ``os.utime`` on every hit
+        keeps eviction honest regardless of mount options; mtime is
+        preserved so the write time stays meaningful.
+        """
+        try:
+            stat = path.stat()
+            os.utime(path, (self._clock(), stat.st_mtime))
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -133,6 +153,7 @@ class CircuitStore:
             sp.tag(hit=False)
             return None
         sp.tag(hit=True, bytes=len(data))
+        self._touch(path)
         try:
             return Circuit.from_bytes(data)
         except UnsupportedVersionError:
@@ -193,6 +214,7 @@ class CircuitStore:
             sp.tag(hit=False)
             return None
         sp.tag(hit=True, bytes=len(data))
+        self._touch(path)
         try:
             return Tape.from_bytes(data)
         except UnsupportedVersionError:

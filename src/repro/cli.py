@@ -449,8 +449,10 @@ def cmd_serve(args) -> int:
     from repro.service.server import ReproServer
     from repro.tid.wmc import DEFAULT_BUDGET_NODES
 
-    if args.workers < 1:
-        raise SystemExit("repro: --workers must be at least 1")
+    if args.workers < 0:
+        raise SystemExit("repro: --workers must be non-negative")
+    if args.compile_threads < 1:
+        raise SystemExit("repro: --compile-threads must be at least 1")
     if args.window < 0:
         raise SystemExit("repro: --window must be non-negative")
     if args.store_max_bytes is not None and args.store_max_bytes < 0:
@@ -479,14 +481,25 @@ def cmd_serve(args) -> int:
         raise SystemExit("repro: --trace-buffer must be at least 1")
     budget = args.budget if args.budget is not None \
         else DEFAULT_BUDGET_NODES
-    server = ReproServer(
-        args.host, args.port, store=args.store, workers=args.workers,
-        window=args.window, budget_nodes=budget,
+    common = dict(
+        store=args.store, window=args.window, budget_nodes=budget,
         auth_tokens=auth_tokens, quota=quota,
         tenant_quotas=tenant_quotas or None,
         store_max_bytes=args.store_max_bytes,
         tracing=not args.no_tracing, slow_ms=args.slow_ms,
         trace_buffer=args.trace_buffer, trace_dir=args.trace_dir)
+    if args.workers:
+        # Multi-process mode: a dispatcher front end plus
+        # --workers worker processes sharing the circuit store.
+        from repro.service.dispatch import ReproDispatcher
+        server = ReproDispatcher(
+            args.host, args.port, workers=args.workers,
+            compile_threads=args.compile_threads, **common)
+    else:
+        # --workers 0: today's single-process server, exactly.
+        server = ReproServer(
+            args.host, args.port, workers=args.compile_threads,
+            **common)
     host, port = server.address
     # Scripts (CI smoke, benchmarks) parse this line to find an
     # ephemeral --port 0 binding; keep its shape stable.
@@ -870,9 +883,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="content-addressed circuit store "
                               "directory (tier-2 cache; also honours "
                               "$REPRO_CIRCUIT_STORE)")
-    p_serve.add_argument("--workers", type=int, default=4,
-                         help="max concurrent compilations "
-                              "(default 4)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="worker processes behind a dispatcher "
+                              "front end (requests route by formula "
+                              "fingerprint; the pool shares the "
+                              "circuit store); 0 serves in-process "
+                              "(default 0)")
+    p_serve.add_argument("--compile-threads", type=int, default=4,
+                         dest="compile_threads",
+                         help="max concurrent compilations per "
+                              "process (default 4)")
     p_serve.add_argument("--window", type=float, default=0.01,
                          help="sweep-coalescing window in seconds "
                               "(default 0.01)")

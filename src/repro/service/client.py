@@ -26,6 +26,13 @@ arrives after its deadline would desynchronize the line framing for
 every later call.  ``call`` also accepts ``trace=`` to pin the
 request's trace id; the id the server echoes (supplied or minted) is
 kept in ``last_trace`` for correlation with the ``trace`` op.
+
+A ``call`` on a connection that an earlier timeout (or ``close()``)
+already tore down raises ``ServiceError("connection-closed", ...)``
+rather than a raw ``OSError``; constructing the client with
+``reconnect=True`` makes that call redial through the same bounded
+connect-retry path instead — the mode for clients that must survive
+a server or worker-process restart.
 """
 
 from __future__ import annotations
@@ -69,12 +76,19 @@ class ServiceClient:
     def __init__(self, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT, timeout: float = 60.0,
                  auth: str | None = None, connect_retries: int = 2,
-                 retry_backoff: float = 0.05):
+                 retry_backoff: float = 0.05, reconnect: bool = False):
         if connect_retries < 0:
             raise ValueError("connect_retries must be non-negative")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
         self.host, self.port = host, port
+        #: With ``reconnect=True`` a ``call`` on a connection that an
+        #: earlier timeout (or ``close()``) tore down redials through
+        #: the same bounded connect-retry path instead of failing —
+        #: the mode for clients that must survive a server or worker
+        #: restart.  Default off: a silent redial would hide the lost
+        #: connection from callers that need to know.
+        self.reconnect = reconnect
         #: Tenant auth token sent on every request (``None`` for an
         #: open server).  A wrong or missing token surfaces as a
         #: ``ServiceError`` with code ``unauthorized``; a tripped
@@ -84,11 +98,15 @@ class ServiceClient:
         #: caller supplied, or the one the server minted) — feed it to
         #: the ``trace`` op to fetch that request's span tree.
         self.last_trace: str | None = None
+        self._timeout = timeout
+        self._connect_retries = connect_retries
+        self._retry_backoff = retry_backoff
         self._sock = self._connect(host, port, timeout,
                                    connect_retries, retry_backoff)
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
         self._next_id = 0
+        self._closed = False
 
     @staticmethod
     def _connect(host, port, timeout, retries, backoff):
@@ -125,6 +143,27 @@ class ServiceClient:
         payload = {key: _wire_value(value)
                    for key, value in params.items() if value is not None}
         with self._lock:
+            if self._closed:
+                # A previous timeout/close tore the connection down;
+                # without this guard the write below surfaces as a raw
+                # ValueError/OSError from the dead file object.
+                if not self.reconnect:
+                    raise ServiceError(
+                        "connection-closed",
+                        "connection was closed by an earlier timeout "
+                        "or close(); construct the client with "
+                        "reconnect=True to redial automatically")
+                try:
+                    self._sock = self._connect(
+                        self.host, self.port, self._timeout,
+                        self._connect_retries, self._retry_backoff)
+                except OSError as error:
+                    raise ServiceError(
+                        "connection-closed",
+                        f"reconnect to {self.host}:{self.port} "
+                        f"failed: {error}") from None
+                self._file = self._sock.makefile("rwb")
+                self._closed = False
             self._next_id += 1
             request_id = self._next_id
             line = dump_line(encode_request(op, payload, request_id,
@@ -143,6 +182,16 @@ class ServiceClient:
                     "timeout",
                     f"no response to {op!r} within {timeout}s; "
                     f"connection closed") from None
+            except (OSError, ValueError) as error:
+                # The peer died mid-exchange (worker crash, server
+                # restart).  Close and surface the structured code so
+                # callers can retry — with reconnect=True the next
+                # call redials.
+                self.close()
+                raise ServiceError(
+                    "connection-closed",
+                    f"connection lost during {op!r}: "
+                    f"{error}") from None
             finally:
                 if timeout is not None:
                     try:
@@ -150,6 +199,7 @@ class ServiceClient:
                     except OSError:
                         pass  # already closed by the timeout path
         if not raw:
+            self.close()
             raise ServiceError("connection-closed",
                                "server closed the connection")
         try:
@@ -277,8 +327,11 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self._closed = True
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
             self._sock.close()
 

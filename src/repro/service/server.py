@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from repro.booleans.adaptive import (
     ENGINE_LABELS,
     ESTIMATORS,
+    BudgetPlanner,
     estimate_with,
 )
 from repro.booleans.approximate import (
@@ -139,6 +140,66 @@ class _Handler(socketserver.StreamRequestHandler):
             return False
 
 
+class WorkloadResolver:
+    """A bounded LRU of resolved request targets: query text + block
+    length -> grounded lineage plus its ``cnf_fingerprint``.
+
+    Shared by ``ReproServer`` and the multi-process dispatcher
+    (``repro.service.dispatch``) — the dispatcher needs the
+    fingerprint *before* any worker is chosen (consistent-hash
+    routing), and grounding is pure parsing, safe to do twice on a
+    cold cache.  Resolution runs inside a ``dispatch`` span so the
+    stage shows up in every request's trace either way.
+    """
+
+    def __init__(self, cache_size: int = 128):
+        self._lock = threading.Lock()
+        self._cache: OrderedDict = OrderedDict()
+        self._cache_size = cache_size
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def resolve(self, params: dict) -> Workload:
+        with span("dispatch") as sp:
+            return self._resolve(params, sp)
+
+    def _resolve(self, params: dict, sp) -> Workload:
+        """``dispatch``-stage body: parse, ground, and cache the
+        request target (the span tag says whether it was a cache
+        hit)."""
+        text = take_str(params, "query")
+        p = take_int(params, "p", default=4, minimum=1, maximum=64)
+        key = (text, p)
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                sp.tag(cached=True)
+                return hit
+        sp.tag(cached=False)
+        from repro.cli import parse_query
+        try:
+            query = parse_query(text)
+            tid = path_block(query, p)
+            formula = lineage(query, tid)
+        except SystemExit as error:
+            raise ProtocolError("bad-query", str(error)) from None
+        except (ValueError, KeyError, TypeError) as error:
+            raise ProtocolError(
+                "bad-query",
+                f"cannot ground {text!r} over B_{p}(u, v): "
+                f"{error}") from None
+        workload = Workload(text, p, query, tid, formula,
+                            cnf_fingerprint(formula), is_safe(query))
+        with self._lock:
+            self._cache[key] = workload
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return workload
+
+
 class ReproServer:
     """The resident query service (see the module docstring).
 
@@ -163,7 +224,8 @@ class ReproServer:
                  trace_buffer: int = 256,
                  trace_dir=None,
                  tracer: Tracer | None = None,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 worker_mode: bool = False):
         if store is not None:
             wmc.set_circuit_store(store)
         if store_max_bytes is not None and store_max_bytes < 0:
@@ -196,6 +258,20 @@ class ReproServer:
         #: compilation the store is pruned back under this many bytes
         #: (oldest access time first) through ``CircuitStore.prune``.
         self.store_max_bytes = store_max_bytes
+        #: Worker mode (set by ``repro.service.worker`` when this
+        #: server is one process of a dispatcher's pool): every
+        #: response whose request led a fresh compilation carries a
+        #: ``charge`` record with the interned-node count, so the
+        #: dispatcher — the single owner of tenant quota state — can
+        #: apply the spend centrally.  Off by default; the field never
+        #: appears in single-process responses.
+        self.worker_mode = worker_mode
+        #: Service-wide compilation-growth observations: every fresh
+        #: leader compile feeds (clauses, circuit nodes) into one
+        #: ``BudgetPlanner`` whose fit and trajectory are surfaced in
+        #: ``stats`` (the dispatcher merges each worker's records into
+        #: one aggregated planner via ``growth_records``).
+        self.planner = BudgetPlanner()
         self._tenant_local = threading.local()
         self._counter_lock = threading.Lock()
         self._requests = 0
@@ -214,9 +290,7 @@ class ReproServer:
         self._auto_prunes = 0
         self._auto_evicted = 0
         self._auto_reclaimed_bytes = 0
-        self._workload_lock = threading.Lock()
-        self._workloads: OrderedDict = OrderedDict()
-        self._workload_cache_size = workload_cache_size
+        self.workloads = WorkloadResolver(workload_cache_size)
         #: Uptime runs on an injectable monotonic clock (dashboards
         #: rate-convert counters against it); ``started_at`` is the
         #: one wall-clock reading, taken exactly once at start-up.
@@ -309,12 +383,23 @@ class ReproServer:
             # tenant argument through every handler.
             tenant = self.tenants.resolve(auth)
             self._tenant_local.tenant = tenant
+            # Fresh-compile spend accumulates on the request thread
+            # (the compile pool runs only the build on its executor;
+            # the leader/charge logic in _compiled stays on this
+            # thread, as does a coalesced sweep's runner).
+            self._tenant_local.charged_nodes = 0
             self.tenants.charge_request(tenant)
             self._count(op)
             root = self.tracer.root(op, trace_id=trace_id,
                                     tenant=tenant)
             with root:
                 result = self._dispatch[op](params)
+            if self.worker_mode:
+                charged = getattr(self._tenant_local,
+                                  "charged_nodes", 0)
+                if charged:
+                    result = dict(result)
+                    result["charge"] = {"nodes": charged}
             response = ok_response(request_id, op, result)
         except ProtocolError as error:
             self._count(None, error=True)
@@ -342,42 +427,7 @@ class ReproServer:
     # Workload resolution (query text + block length -> lineage)
     # ------------------------------------------------------------------
     def _workload(self, params: dict) -> Workload:
-        with span("dispatch") as sp:
-            return self._workload_resolve(params, sp)
-
-    def _workload_resolve(self, params: dict, sp) -> Workload:
-        """``dispatch``-stage body: parse, ground, and cache the
-        request target (the span tag says whether it was a cache
-        hit)."""
-        text = take_str(params, "query")
-        p = take_int(params, "p", default=4, minimum=1, maximum=64)
-        key = (text, p)
-        with self._workload_lock:
-            hit = self._workloads.get(key)
-            if hit is not None:
-                self._workloads.move_to_end(key)
-                sp.tag(cached=True)
-                return hit
-        sp.tag(cached=False)
-        from repro.cli import parse_query
-        try:
-            query = parse_query(text)
-            tid = path_block(query, p)
-            formula = lineage(query, tid)
-        except SystemExit as error:
-            raise ProtocolError("bad-query", str(error)) from None
-        except (ValueError, KeyError, TypeError) as error:
-            raise ProtocolError(
-                "bad-query",
-                f"cannot ground {text!r} over B_{p}(u, v): "
-                f"{error}") from None
-        workload = Workload(text, p, query, tid, formula,
-                            cnf_fingerprint(formula), is_safe(query))
-        with self._workload_lock:
-            self._workloads[key] = workload
-            while len(self._workloads) > self._workload_cache_size:
-                self._workloads.popitem(last=False)
-        return workload
+        return self.workloads.resolve(params)
 
     def _compiled(self, workload: Workload,
                   budget_nodes: int | None, build=None):
@@ -403,6 +453,13 @@ class ReproServer:
             (workload.fingerprint, budget_nodes), build)
         if leader and fresh:
             self._autoprune_store()
+            if len(workload.formula) >= 1 and circuit.size >= 1:
+                with self._counter_lock:
+                    self.planner.observe(len(workload.formula),
+                                         circuit.size)
+            local = self._tenant_local
+            local.charged_nodes = (
+                getattr(local, "charged_nodes", 0) + circuit.size)
             self.tenants.charge_compile(tenant, circuit.size)
         return circuit
 
@@ -465,13 +522,16 @@ class ReproServer:
                 "errors": self._errors,
                 "ops": dict(sorted(self._op_counts.items())),
                 "default_budget_nodes": self.default_budget,
-                "workloads_cached": len(self._workloads),
+                "workloads_cached": len(self.workloads),
                 "auth_enabled": self.tenants.auth_enabled,
                 "store_max_bytes": self.store_max_bytes,
                 "auto_prunes": self._auto_prunes,
                 "auto_evicted": self._auto_evicted,
                 "auto_reclaimed_bytes": self._auto_reclaimed_bytes,
             }
+            planner_info = dict(self.planner.stats())
+            planner_info["growth"] = self.planner.growth_records()
+        service["planner"] = planner_info
         service.update(self.pool.stats())
         service.update(self.coalescer.stats())
         service.update(self._adaptive_stats())

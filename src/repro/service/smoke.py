@@ -285,5 +285,84 @@ def main_authenticated() -> int:
             server.wait(timeout=10)
 
 
+def main_workers() -> int:
+    """The multi-process deployment: ``repro serve --workers 2``
+    boots a dispatcher plus two worker processes; the protocol,
+    exact answers, aggregated stats, and the cross-process trace
+    tree must all hold through the extra hop."""
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--window", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=dict(os.environ))
+    try:
+        banner = server.stdout.readline().strip()
+        _require(banner.startswith("repro service listening on"),
+                 "missing listen banner (workers)", banner)
+        port = int(banner.rsplit(":", 1)[1])
+        print(f"smoke: 2-worker dispatcher up on port {port}")
+
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=port, timeout=120) as client:
+            result = client.evaluate(QUERY, p=4)
+            _require(result["engine"] == "exact"
+                     and result["value"] == "4181/131072",
+                     "exact evaluate through the pool", result)
+            _require("charge" not in result,
+                     "worker charge field stripped", result)
+
+            batch = client.evaluate_batch(QUERY, ps=[2, 3, 4])
+            _require(batch["count"] == 3
+                     and batch["results"][2]["value"]
+                     == "4181/131072",
+                     "batch split across the pool", batch)
+
+            stats = client.stats()
+            _require(stats["service"]["workers"] == 2,
+                     "worker count surfaced", stats["service"])
+            _require(stats["cache"]["compiles"] >= 3,
+                     "aggregated worker cache counters",
+                     stats["cache"])
+            _require(stats["service"]["planner"]["observations"]
+                     >= 3,
+                     "merged service-wide planner", stats["service"])
+            rows = stats.get("workers") or []
+            _require(len(rows) == 2
+                     and all(row["alive"] for row in rows),
+                     "per-worker liveness rows", rows)
+
+            client.call("evaluate", query=QUERY, p=4,
+                        trace="smoke-xproc")
+            fetched = client.trace(id="smoke-xproc")
+            _require(fetched["count"] == 1, "trace fetched by id",
+                     fetched)
+            spans = fetched["traces"][0]["spans"]
+            names = {s["name"] for s in spans}
+            _require({"dispatch", "proxy", "evaluate"} <= names,
+                     "dispatcher-side stages present", names)
+            _require(any(str(s.get("tags", {}).get("process", ""))
+                         .startswith("worker-") for s in spans),
+                     "one span tree covers both processes", spans)
+
+            metrics = client.metrics()
+            _require('repro_service_info{key="workers"} 2'
+                     in metrics["text"],
+                     "workers gauge in metrics",
+                     metrics["text"][:2000])
+            client.shutdown()
+        server.wait(timeout=30)
+        print("service smoke: workers OK "
+              f"({stats['cache']['compiles']} compiles across "
+              f"{len(rows)} workers)")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
 if __name__ == "__main__":
-    sys.exit(main() or main_authenticated())
+    if "--workers" in sys.argv[1:]:
+        sys.exit(main_workers())
+    sys.exit(main() or main_authenticated() or main_workers())

@@ -39,6 +39,7 @@ window-rollover arithmetic is unit-testable without sleeping.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 
@@ -67,6 +68,15 @@ class TenantQuota:
     compile_nodes: int | None = None
 
     def __post_init__(self):
+        # Non-finite values slip past the ordering checks below —
+        # float("nan") <= 0 is False — and then poison the rollover
+        # arithmetic (a nan window never resets, an inf window never
+        # rolls over), so they are refused outright.
+        for name in ("rate", "window", "compile_nodes"):
+            value = getattr(self, name)
+            if value is not None and not math.isfinite(value):
+                raise ValueError(
+                    f"quota {name} must be finite, got {value!r}")
         if self.rate is not None and self.rate < 1:
             raise ValueError("quota rate must be at least 1")
         if self.window <= 0:

@@ -504,6 +504,88 @@ class TestPrune:
             store.prune(max_bytes=-1)
 
 
+class TestStoreHitTouchesAtime:
+    """Regression: ``relatime``/``noatime`` mounts (the Linux default)
+    do not update ``st_atime`` on reads, so ``prune``'s oldest-atime
+    order degenerated to oldest-*write* and evicted the hottest
+    circuits.  Store hits now explicitly ``os.utime`` the entry; the
+    injected clock makes the bump observable without real reads."""
+
+    def test_circuit_hit_bumps_atime_preserves_mtime(self, tmp_path):
+        import os
+
+        formula, _ = block_formula(p=2)
+        now = [1_000_000_000.0]
+        store = CircuitStore(tmp_path / "store",
+                             clock=lambda: now[0])
+        path = store.put(formula, compile_cnf(formula))
+        os.utime(path, (5.0, 5.0))
+        now[0] = 2_000_000_000.0
+        assert store.get(formula) is not None
+        stat = path.stat()
+        assert stat.st_atime == pytest.approx(2_000_000_000.0)
+        assert stat.st_mtime == pytest.approx(5.0)
+
+    def test_tape_hit_bumps_atime(self, tmp_path):
+        import os
+
+        from repro.booleans.tape import flatten_circuit
+
+        formula, _ = block_formula(p=2)
+        now = [1_000_000_000.0]
+        store = CircuitStore(tmp_path / "store",
+                             clock=lambda: now[0])
+        circuit = compile_cnf(formula)
+        store.put(formula, circuit)
+        path = store.put_tape(formula, flatten_circuit(circuit))
+        os.utime(path, (5.0, 5.0))
+        now[0] = 3_000_000_000.0
+        assert store.get_tape(formula) is not None
+        assert path.stat().st_atime == pytest.approx(
+            3_000_000_000.0)
+
+    def test_read_entries_survive_prune_on_relatime_mounts(
+            self, tmp_path):
+        import os
+
+        from repro.booleans.tape import flatten_circuit
+
+        now = [1_000.0]
+        store = CircuitStore(tmp_path / "store",
+                             clock=lambda: now[0])
+        formulas = [block_formula(p=p)[0] for p in (1, 2, 3)]
+        for formula in formulas:
+            circuit = compile_cnf(formula)
+            store.put(formula, circuit)
+            store.put_tape(formula, flatten_circuit(circuit))
+        # Simulate a relatime mount's steady state: every atime is
+        # frozen at write order, making the first-written pair look
+        # coldest even though it is about to be the hottest.
+        for index, formula in enumerate(formulas):
+            key = cnf_fingerprint(formula)
+            stamp = float((index + 1) * 100)
+            for path in (store.path_for(key),
+                         store.tape_path_for(key)):
+                os.utime(path, (stamp, stamp))
+        hot = formulas[0]
+        now[0] = 4_000.0
+        assert store.get(hot) is not None
+        assert store.get_tape(hot) is not None
+        hot_key = cnf_fingerprint(hot)
+        victim_key = cnf_fingerprint(formulas[1])
+        victim_bytes = (
+            store.path_for(victim_key).stat().st_size
+            + store.tape_path_for(victim_key).stat().st_size)
+        total = sum(path.stat().st_size
+                    for path in store.root.glob("??/*"))
+        store.prune(max_bytes=total - victim_bytes)
+        # Without the hit-touch the read pair (oldest frozen atime)
+        # would have been evicted here.
+        assert store.path_for(hot_key).exists()
+        assert store.tape_path_for(hot_key).exists()
+        assert not store.path_for(victim_key).exists()
+
+
 class TestAtomicWrites:
     def test_atomic_write_bytes_basic(self, tmp_path):
         from repro.booleans.store import atomic_write_bytes

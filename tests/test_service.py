@@ -242,6 +242,82 @@ class TestErrors:
         assert client.ping() == {"pong": True}
 
 
+class TestClientConnectionClosed:
+    """Regression: a ``call`` after the connection was torn down (a
+    per-call timeout, an explicit ``close``, a dead server) surfaced
+    as a raw ``OSError``/``ValueError`` from the dead file object
+    instead of a structured ``ServiceError``."""
+
+    def test_call_after_close_is_structured(self, server):
+        client = ServiceClient(*server.address)
+        assert client.ping() == {"pong": True}
+        client.close()
+        with pytest.raises(ServiceError) as info:
+            client.ping()
+        assert info.value.code == "connection-closed"
+        assert "reconnect=True" in info.value.message
+
+    def test_call_after_timeout_is_structured(self):
+        # A listener that accepts but never answers forces the
+        # per-call deadline deterministically.
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        try:
+            client = ServiceClient("127.0.0.1",
+                                   silent.getsockname()[1])
+            with pytest.raises(ServiceError) as info:
+                client.call("ping", timeout=0.05)
+            assert info.value.code == "timeout"
+            with pytest.raises(ServiceError) as info:
+                client.ping()
+            assert info.value.code == "connection-closed"
+            client.close()
+        finally:
+            silent.close()
+
+    def test_reconnect_redials_after_close(self, server):
+        with ServiceClient(*server.address, reconnect=True) as client:
+            assert client.ping() == {"pong": True}
+            client.close()
+            # The redial runs the same bounded connect-retry path the
+            # constructor uses; the session then continues as if
+            # nothing happened.
+            assert client.ping() == {"pong": True}
+            assert client.evaluate(QUERY, p=3)["engine"] == "exact"
+
+    def test_reconnect_failure_is_structured(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.listen(1)
+        client = ServiceClient("127.0.0.1", port, reconnect=True,
+                               connect_retries=0)
+        client.close()
+        probe.close()  # nobody listens on that port any more
+        with pytest.raises(ServiceError) as info:
+            client.ping()
+        assert info.value.code == "connection-closed"
+        assert "reconnect" in info.value.message
+
+    def test_peer_death_mid_session_is_structured(self):
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        try:
+            client = ServiceClient("127.0.0.1",
+                                   silent.getsockname()[1])
+            conn, _ = silent.accept()
+            conn.close()  # the peer dies mid-session
+            # The next exchange must not surface a raw socket error.
+            with pytest.raises(ServiceError) as info:
+                client.ping()
+            assert info.value.code == "connection-closed"
+            client.close()
+        finally:
+            silent.close()
+
+
 class TestCoalescing:
     def test_concurrent_sweeps_one_compile_one_pass(self):
         """The acceptance criterion: N concurrent same-fingerprint
@@ -527,7 +603,9 @@ class TestCLI:
 
     def test_serve_flag_validation(self):
         with pytest.raises(SystemExit, match="--workers"):
-            main(["serve", "--workers", "0"])
+            main(["serve", "--workers", "-1"])
+        with pytest.raises(SystemExit, match="--compile-threads"):
+            main(["serve", "--compile-threads", "0"])
         with pytest.raises(SystemExit, match="--window"):
             main(["serve", "--window", "-1"])
 

@@ -41,6 +41,39 @@ class TestTenantQuota:
         with pytest.raises(ValueError):
             TenantQuota.parse(bad)
 
+    @pytest.mark.parametrize("spec", [
+        "window=nan", "window=inf", "window=-inf",
+        "window=Infinity", "window=NaN",
+    ])
+    def test_parse_rejects_non_finite_windows(self, spec):
+        """Regression: ``float("nan") <= 0`` is False, so a nan/inf
+        window sailed past validation and silently broke rollover
+        arithmetic (a nan window never resets; an inf one never
+        rolls over)."""
+        with pytest.raises(ValueError, match="finite"):
+            TenantQuota.parse(spec)
+
+    @pytest.mark.parametrize("field,value", [
+        ("rate", float("nan")), ("rate", float("inf")),
+        ("window", float("nan")), ("window", float("inf")),
+        ("window", float("-inf")),
+        ("compile_nodes", float("nan")),
+        ("compile_nodes", float("inf")),
+    ])
+    def test_constructor_rejects_non_finite_fields(self, field,
+                                                   value):
+        with pytest.raises(ValueError, match="finite"):
+            TenantQuota(**{field: value})
+
+    def test_non_finite_window_never_admits_unlimited_rate(self):
+        # The end-to-end consequence of the old bug: with
+        # window=inf the counter would have never rolled over, and
+        # with window=nan it would have rolled over on *every*
+        # request, making rate caps unenforceable.
+        with pytest.raises(ValueError):
+            TenantRegistry(quota=TenantQuota(rate=1,
+                                             window=float("nan")))
+
     def test_as_dict_round_trips_the_fields(self):
         quota = TenantQuota(rate=3, window=10.0, compile_nodes=42)
         assert quota.as_dict() == {"rate": 3, "window": 10.0,
